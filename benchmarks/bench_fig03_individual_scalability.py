@@ -1,0 +1,50 @@
+"""Figure 3 — per-method scalability with increasing dataset sizes.
+
+The paper grows synthetic datasets from 25GB to 250GB and reports, for each of
+the ten methods, the index-building and query-answering time (split into CPU
+and I/O).  This benchmark regenerates one table per method with the same
+columns at reduced scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import HDD, render_table
+
+from .conftest import METHOD_PARAMS, SIZE_SWEEP, dataset_for, run_cell, summarize, workload_for
+
+ALL_METHODS = tuple(METHOD_PARAMS)
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_fig03_scalability(benchmark, method):
+    workload = workload_for(count=5)
+    # The slow (insertion-based, full-dimensional) trees get the smaller end of
+    # the sweep, mirroring the paper's ">24 hours" cut-offs for R*-tree/M-tree.
+    sizes = list(SIZE_SWEEP)
+    if method in ("m-tree", "r*-tree", "stepwise", "mass"):
+        sizes = sizes[:3]
+
+    rows = []
+    for paper_gb in sizes:
+        dataset = dataset_for(paper_gb)
+        result = run_cell(dataset, workload, method, platform=HDD)
+        rows.append(
+            {
+                "dataset_gb": paper_gb,
+                "index_cpu_s": round(result.index_stats.build_cpu_seconds, 3),
+                "index_io_s": round(result.index_stats.build_io_seconds, 4),
+                "query_cpu_s": round(result.query_cpu_seconds, 3),
+                "query_io_s": round(result.query_io_seconds, 4),
+                "total_s": round(result.total_seconds, 3),
+            }
+        )
+    summarize(f"Figure 3 ({method}) - scalability with dataset size", render_table(rows))
+
+    smallest = dataset_for(sizes[0])
+
+    def one_cell():
+        return run_cell(smallest, workload, method, platform=HDD).total_seconds
+
+    benchmark.pedantic(one_cell, rounds=1, iterations=1)

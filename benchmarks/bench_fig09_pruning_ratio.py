@@ -1,0 +1,79 @@
+"""Figure 9 — pruning ratio per method across workloads.
+
+The paper measures the pruning ratio (fraction of raw series *not* examined)
+of ADS+, iSAX2+, DSTree, SFA and VA+file under the synthetic random and
+controlled workloads and under controlled workloads on the four real datasets.
+Headline shape: pruning is highest on the random synthetic workload, the
+controlled workloads are more varied (they contain hard queries), ADS+ and
+VA+file prune the most, SFA the least (because of its very large leaves), and
+the hard real datasets (Deep1B analogue) prune poorly for everyone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import HDD, render_table
+
+from .conftest import METHOD_PARAMS, run_cell, summarize
+from repro.workloads import (
+    random_walk_dataset,
+    real_ctrl_workload,
+    real_like_dataset,
+    synth_ctrl_workload,
+    synth_rand_workload,
+)
+
+PRUNING_METHODS = ("ads+", "isax2+", "dstree", "sfa-trie", "va+file")
+SERIES_COUNT = 3_000
+QUERIES = 8
+
+
+def _workloads():
+    synth = random_walk_dataset(SERIES_COUNT, 128, seed=31, name="synthetic-100GB")
+    yield synth, synth_rand_workload(128, count=QUERIES, seed=32)
+    yield synth, synth_ctrl_workload(synth, count=QUERIES, seed=33)
+    for name in ("sald", "seismic", "astro", "deep1b"):
+        dataset = real_like_dataset(name, SERIES_COUNT, seed=34)
+        yield dataset, real_ctrl_workload(dataset, count=QUERIES, seed=35)
+
+
+def test_fig09_pruning_ratio(benchmark):
+    rows = []
+    pruning = {}
+    for dataset, workload in _workloads():
+        for method in PRUNING_METHODS:
+            result = run_cell(dataset, workload, method, platform=HDD)
+            per_query = [s.pruning_ratio for s in result.query_stats]
+            rows.append(
+                {
+                    "workload": workload.name,
+                    "dataset": dataset.name,
+                    "method": method,
+                    "pruning_mean": round(float(np.mean(per_query)), 3),
+                    "pruning_min": round(float(np.min(per_query)), 3),
+                    "pruning_max": round(float(np.max(per_query)), 3),
+                }
+            )
+            pruning[(workload.name, method)] = float(np.mean(per_query))
+    summarize("Figure 9 - pruning ratio per method and workload", render_table(rows))
+
+    # Shape checks mirroring the paper:
+    # (1) the skip-sequential methods with full-resolution summaries (ADS+,
+    #     VA+file) achieve the best pruning on the synthetic workloads;
+    for method in ("ads+", "va+file"):
+        assert pruning[("synth-rand", method)] >= pruning[("synth-rand", "sfa-trie")]
+    # (2) SFA's very large leaves give it the lowest pruning of the indexes;
+    assert pruning[("synth-rand", "sfa-trie")] == min(
+        pruning[("synth-rand", m)] for m in PRUNING_METHODS
+    )
+    # (3) the hard embedding-like dataset prunes worse than the smooth one.
+    assert pruning[("deep1b-ctrl", "dstree")] <= pruning[("sald-ctrl", "dstree")] + 0.05
+
+    dataset = random_walk_dataset(SERIES_COUNT, 128, seed=31)
+    workload = synth_rand_workload(128, count=QUERIES, seed=32)
+
+    def one_cell():
+        return run_cell(dataset, workload, "va+file", platform=HDD).pruning_ratio
+
+    benchmark.pedantic(one_cell, rounds=1, iterations=1)

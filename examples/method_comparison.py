@@ -1,0 +1,66 @@
+"""Compare the ten methods on one dataset, the way the paper's Table 2 does.
+
+Builds every method over the same random-walk collection, runs a controlled
+query workload, and prints per-method build time, query time (CPU + simulated
+I/O under the HDD and SSD cost models), pruning ratio and disk accesses — the
+measures the paper uses to rank methods per scenario.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import HDD, SSD, best_method_per_scenario, render_table, run_experiment
+from repro.workloads import random_walk_dataset, synth_ctrl_workload
+
+# Method parameters scaled to the example's dataset size (the paper tunes leaf
+# sizes per dataset; see benchmarks/bench_fig02_leaf_size.py for that sweep).
+METHODS = {
+    "ads+": {"leaf_capacity": 100},
+    "dstree": {"leaf_capacity": 100},
+    "isax2+": {"leaf_capacity": 100},
+    "sfa-trie": {"leaf_capacity": 500},
+    "va+file": {},
+    "m-tree": {"node_capacity": 16},
+    "r*-tree": {"leaf_capacity": 50},
+    "stepwise": {},
+    "ucr-suite": {},
+    "mass": {},
+}
+
+
+def main() -> None:
+    dataset = random_walk_dataset(4_000, 128, seed=1, name="comparison")
+    workload = synth_ctrl_workload(dataset, count=20, seed=2)
+    print(f"dataset: {dataset.count} x {dataset.length}, workload: {len(workload)} queries\n")
+
+    rows = []
+    results = {}
+    for name, params in METHODS.items():
+        result = run_experiment(dataset, workload, name, platform=HDD, method_params=params)
+        results[name] = result
+        ssd_io = sum(SSD.io_seconds_for(s) for s in result.query_stats)
+        rows.append(
+            {
+                "method": name,
+                "build_s": round(result.build_seconds, 3),
+                "query_cpu_s": round(result.query_cpu_seconds, 3),
+                "query_io_hdd_s": round(result.query_io_seconds, 4),
+                "query_io_ssd_s": round(ssd_io, 4),
+                "pruning": round(result.pruning_ratio, 3),
+                "random_io": result.random_accesses,
+            }
+        )
+
+    print(render_table(rows, title="Per-method comparison (controlled workload)"))
+
+    winners = best_method_per_scenario(results)
+    print("\nBest method per scenario (cf. paper Table 2):")
+    for scenario, winner in winners.items():
+        print(f"  {scenario:>14}: {winner}")
+
+
+if __name__ == "__main__":
+    main()

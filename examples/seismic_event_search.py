@@ -1,0 +1,70 @@
+"""Domain example: finding recordings similar to a seismic event template.
+
+The paper's Seismic dataset contains instrument recordings from thousands of
+stations; a typical analysis task is to find past recordings whose shape is
+closest to a newly observed event (the "whole matching 1-NN" use case the paper
+motivates).  This example uses the library's seismic analogue generator,
+compares an index against the optimized serial scan, and shows how query
+difficulty (amount of noise on the template) changes the picture — the paper's
+"easy vs hard queries" observation.
+
+Run with::
+
+    python examples/seismic_event_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SeriesStore, create_method, znormalize
+from repro.core.queries import KnnQuery
+from repro.workloads import seismic_like
+
+
+def timed_search(method, query: KnnQuery):
+    start = time.perf_counter()
+    result = method.knn_exact(query)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def main() -> None:
+    # A scaled-down stand-in for the paper's 100M-series seismic archive.
+    dataset = seismic_like(count=8_000, length=256, seed=3)
+    print(f"seismic analogue: {dataset.count} recordings of {dataset.length} samples")
+
+    # Build the two contenders the paper recommends for this regime.
+    dstree = create_method("dstree", SeriesStore(dataset), leaf_capacity=100)
+    dstree.build()
+    scan = create_method("ucr-suite", SeriesStore(dataset))
+    scan.build()
+
+    rng = np.random.default_rng(11)
+    template_id = int(rng.integers(dataset.count))
+    template = dataset.values[template_id].astype(np.float64)
+
+    print("\nquery difficulty sweep (noise added to a stored event template):")
+    print(f"{'noise':>6} | {'dstree time':>12} | {'scan time':>10} | "
+          f"{'pruning':>8} | {'1-NN distance':>13}")
+    for noise in (0.0, 0.25, 0.5, 1.0, 2.0):
+        noisy = znormalize(template + noise * rng.standard_normal(dataset.length))
+        query = KnnQuery(series=noisy, k=1)
+
+        tree_result, tree_time = timed_search(dstree, query)
+        scan_result, scan_time = timed_search(scan, query)
+        assert abs(tree_result.nearest.distance - scan_result.nearest.distance) < 1e-3
+
+        print(f"{noise:6.2f} | {tree_time * 1e3:10.1f}ms | {scan_time * 1e3:8.1f}ms | "
+              f"{tree_result.stats.pruning_ratio:8.3f} | "
+              f"{tree_result.nearest.distance:13.4f}")
+
+    print("\nAs noise grows the query gets harder: pruning drops and the index's")
+    print("advantage over the optimized serial scan shrinks - the same effect the")
+    print("paper reports for its hard controlled-workload queries (Table 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro: data series similarity search — a reproduction of the Lernaean Hydra study.
+
+This library implements the ten exact whole-matching similarity-search methods
+evaluated in "The Lernaean Hydra of Data Series Similarity Search: An
+Experimental Evaluation of the State of the Art" (PVLDB 2018), together with
+the summarization techniques they rely on, the workload generators, and the
+evaluation harness (access accounting, hardware cost models, pruning ratio,
+TLB, and the paper's experimental scenarios).
+
+Quick start::
+
+    import numpy as np
+    from repro import Dataset, SimilaritySearchEngine
+
+    data = np.cumsum(np.random.randn(10_000, 128), axis=1)
+    engine = SimilaritySearchEngine(Dataset.from_array(data, normalize=True))
+    engine.build("dstree", leaf_capacity=100)
+    result = engine.search(data[42], k=5, normalize=True)
+    print(result.positions(), result.distances())
+"""
+
+from .core import (
+    Dataset,
+    KnnQuery,
+    MatchingAccuracy,
+    Neighbor,
+    QueryWorkload,
+    RangeQuery,
+    Recommendation,
+    SimilaritySearchEngine,
+    available_methods,
+    create_method,
+    load_method,
+    recommend_method,
+    register_method,
+    save_method,
+    znormalize,
+)
+from .core.registry import METHOD_NAMES
+from .core.stats import IndexStats, QueryStats
+from .core.storage import SeriesStore
+from .evaluation import (
+    HDD,
+    SSD,
+    ExperimentResult,
+    HardwareModel,
+    run_comparison,
+    run_experiment,
+)
+from .indexes import (
+    AdsPlusIndex,
+    DsTreeIndex,
+    Isax2PlusIndex,
+    MTreeIndex,
+    RStarTreeIndex,
+    SearchMethod,
+    SearchResult,
+    SfaTrieIndex,
+    StepwiseIndex,
+    VaPlusFileIndex,
+)
+from .sequential import MassScan, UcrSuiteScan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Dataset",
+    "SimilaritySearchEngine",
+    "Recommendation",
+    "recommend_method",
+    "KnnQuery",
+    "RangeQuery",
+    "QueryWorkload",
+    "MatchingAccuracy",
+    "Neighbor",
+    "znormalize",
+    "available_methods",
+    "create_method",
+    "register_method",
+    "save_method",
+    "load_method",
+    "METHOD_NAMES",
+    "QueryStats",
+    "IndexStats",
+    "SeriesStore",
+    "HardwareModel",
+    "HDD",
+    "SSD",
+    "ExperimentResult",
+    "run_experiment",
+    "run_comparison",
+    "SearchMethod",
+    "SearchResult",
+    "AdsPlusIndex",
+    "DsTreeIndex",
+    "Isax2PlusIndex",
+    "MTreeIndex",
+    "RStarTreeIndex",
+    "SfaTrieIndex",
+    "StepwiseIndex",
+    "VaPlusFileIndex",
+    "UcrSuiteScan",
+    "MassScan",
+]

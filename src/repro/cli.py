@@ -1,0 +1,207 @@
+"""Command line interface for the library.
+
+Provides a small set of subcommands so the common workflows can be driven
+without writing Python::
+
+    python -m repro methods                     # list the available methods
+    python -m repro recommend --gb 100 --length 256
+    python -m repro run --method dstree --count 5000 --length 128 --queries 10
+    python -m repro compare --methods dstree,va+file,ucr-suite --count 2000
+
+The ``run`` and ``compare`` commands generate a seeded random-walk dataset (or
+one of the real-dataset analogues), build the requested method(s), answer a
+query workload, and print the same measures the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.registry import available_methods
+from .core.engine import recommend_method
+from .evaluation.hardware import PLATFORMS
+from .evaluation.reporting import render_table
+from .evaluation.runner import run_experiment
+from .evaluation.scenarios import best_method_per_scenario
+from .workloads.generators import random_walk_dataset
+from .workloads.real_like import REAL_DATASET_NAMES, real_like_dataset
+from .workloads.workload import synth_ctrl_workload, synth_rand_workload
+
+__all__ = ["main", "build_parser"]
+
+#: leaf-size defaults used by the CLI when the user does not override them.
+_DEFAULT_PARAMS = {
+    "ads+": {"leaf_capacity": 100},
+    "dstree": {"leaf_capacity": 100},
+    "isax2+": {"leaf_capacity": 100},
+    "sfa-trie": {"leaf_capacity": 500},
+    "m-tree": {"node_capacity": 16},
+    "r*-tree": {"leaf_capacity": 50},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data series similarity search (Lernaean Hydra reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list the available similarity-search methods")
+
+    rec = sub.add_parser("recommend", help="recommend a method for a dataset shape")
+    rec.add_argument("--gb", type=float, required=True, help="dataset size in GB")
+    rec.add_argument("--length", type=int, required=True, help="series length")
+    rec.add_argument("--queries", type=int, default=10_000, help="expected query count")
+
+    run = sub.add_parser("run", help="build one method and answer a workload")
+    _add_dataset_arguments(run)
+    run.add_argument("--method", required=True, help="method name (see 'methods')")
+    run.add_argument("--leaf-size", type=int, default=None, help="leaf capacity override")
+
+    compare = sub.add_parser("compare", help="compare several methods on one dataset")
+    _add_dataset_arguments(compare)
+    compare.add_argument(
+        "--methods",
+        default="dstree,va+file,ucr-suite",
+        help="comma-separated method names",
+    )
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--count", type=int, default=2_000, help="number of series")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument(
+        "--dataset",
+        default="random-walk",
+        choices=("random-walk",) + REAL_DATASET_NAMES,
+        help="dataset generator",
+    )
+    parser.add_argument("--queries", type=int, default=10, help="number of queries")
+    parser.add_argument(
+        "--workload",
+        default="rand",
+        choices=("rand", "ctrl"),
+        help="random-walk queries or controlled-difficulty queries",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="random seed")
+    parser.add_argument(
+        "--platform",
+        default="hdd",
+        choices=sorted(PLATFORMS),
+        help="hardware cost model for the simulated I/O time",
+    )
+
+
+def _make_dataset(args: argparse.Namespace):
+    if args.dataset == "random-walk":
+        return random_walk_dataset(args.count, args.length, seed=args.seed)
+    return real_like_dataset(args.dataset, args.count, length=args.length, seed=args.seed)
+
+
+def _make_workload(args: argparse.Namespace, dataset):
+    if args.workload == "ctrl":
+        return synth_ctrl_workload(dataset, count=args.queries, seed=args.seed + 1)
+    return synth_rand_workload(dataset.length, count=args.queries, seed=args.seed + 1)
+
+
+def _method_params(name: str, leaf_size: int | None = None) -> dict:
+    params = dict(_DEFAULT_PARAMS.get(name, {}))
+    if leaf_size is not None:
+        key = "node_capacity" if name == "m-tree" else "leaf_capacity"
+        params[key] = leaf_size
+    return params
+
+
+def _result_row(result) -> dict:
+    return {
+        "method": result.method,
+        "build_s": round(result.build_seconds, 3),
+        "query_s": round(result.query_seconds, 3),
+        "pruning": round(result.pruning_ratio, 3),
+        "random_io": result.random_accesses,
+        "sequential_pages": result.sequential_pages,
+    }
+
+
+def _command_methods(_: argparse.Namespace, out) -> int:
+    for name in available_methods():
+        print(name, file=out)
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace, out) -> int:
+    advice = recommend_method(
+        dataset_gb=args.gb, series_length=args.length, workload_queries=args.queries
+    )
+    print(f"method: {advice.method}", file=out)
+    print(f"reason: {advice.reason}", file=out)
+    return 0
+
+
+def _command_run(args: argparse.Namespace, out) -> int:
+    if args.method not in available_methods():
+        print(f"unknown method {args.method!r}; run 'repro methods'", file=out)
+        return 2
+    dataset = _make_dataset(args)
+    workload = _make_workload(args, dataset)
+    result = run_experiment(
+        dataset,
+        workload,
+        args.method,
+        platform=PLATFORMS[args.platform],
+        method_params=_method_params(args.method, args.leaf_size),
+    )
+    print(render_table([_result_row(result)], title=f"{args.method} on {dataset.name}"), file=out)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace, out) -> int:
+    names = [name.strip() for name in args.methods.split(",") if name.strip()]
+    unknown = [name for name in names if name not in available_methods()]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=out)
+        return 2
+    dataset = _make_dataset(args)
+    workload = _make_workload(args, dataset)
+    results = {}
+    rows = []
+    for name in names:
+        result = run_experiment(
+            dataset,
+            workload,
+            name,
+            platform=PLATFORMS[args.platform],
+            method_params=_method_params(name),
+        )
+        results[name] = result
+        rows.append(_result_row(result))
+    print(render_table(rows, title=f"comparison on {dataset.name} ({args.platform})"), file=out)
+    winners = best_method_per_scenario(results)
+    winner_rows = [{"scenario": scenario, "winner": winner} for scenario, winner in winners.items()]
+    print(render_table(winner_rows, title="best method per scenario"), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "methods": _command_methods,
+    "recommend": _command_recommend,
+    "run": _command_run,
+    "compare": _command_compare,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

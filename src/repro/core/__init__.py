@@ -1,0 +1,59 @@
+"""Core substrate: series containers, distances, storage simulation, engine."""
+
+from .answers import KnnAnswerSet, Neighbor, RangeAnswerSet
+from .buffer import BufferPool, BufferStats
+from .distance import (
+    dynamic_time_warping,
+    early_abandon_reordered,
+    early_abandon_squared,
+    euclidean,
+    reorder_by_query,
+    squared_euclidean,
+    squared_euclidean_batch,
+)
+from .engine import Recommendation, SimilaritySearchEngine, recommend_method
+from .persistence import dataset_fingerprint, load_method, save_method
+from .queries import KnnQuery, MatchingAccuracy, QueryWorkload, RangeQuery
+from .registry import METHOD_NAMES, available_methods, create_method, register_method
+from .series import SERIES_DTYPE, Dataset, is_znormalized, znormalize
+from .stats import AccessCounter, IndexStats, QueryStats, aggregate_query_stats
+from .storage import DEFAULT_PAGE_BYTES, SeriesStore
+
+__all__ = [
+    "KnnAnswerSet",
+    "Neighbor",
+    "RangeAnswerSet",
+    "BufferPool",
+    "BufferStats",
+    "euclidean",
+    "squared_euclidean",
+    "squared_euclidean_batch",
+    "early_abandon_squared",
+    "early_abandon_reordered",
+    "reorder_by_query",
+    "dynamic_time_warping",
+    "SimilaritySearchEngine",
+    "Recommendation",
+    "recommend_method",
+    "save_method",
+    "load_method",
+    "dataset_fingerprint",
+    "KnnQuery",
+    "RangeQuery",
+    "QueryWorkload",
+    "MatchingAccuracy",
+    "METHOD_NAMES",
+    "available_methods",
+    "create_method",
+    "register_method",
+    "Dataset",
+    "SERIES_DTYPE",
+    "znormalize",
+    "is_znormalized",
+    "AccessCounter",
+    "QueryStats",
+    "IndexStats",
+    "aggregate_query_stats",
+    "SeriesStore",
+    "DEFAULT_PAGE_BYTES",
+]

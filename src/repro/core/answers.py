@@ -1,0 +1,124 @@
+"""Answer containers for k-NN and range similarity queries."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Neighbor", "KnnAnswerSet", "RangeAnswerSet"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One answer: the position of a series in the collection and its distance.
+
+    Distances are *Euclidean* (not squared) so answers read the same way the
+    paper reports them; internal heaps work on squared distances for speed.
+    """
+
+    distance: float
+    position: int
+
+
+class KnnAnswerSet:
+    """A bounded max-heap holding the current k best candidates.
+
+    Every method in the library funnels candidates through this structure, so
+    the best-so-far (bsf) pruning threshold is maintained identically everywhere.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be a positive integer")
+        self.k = k
+        # max-heap via negated squared distances
+        self._heap: list[tuple[float, int]] = []
+        # positions currently in the heap; a series can only be an answer once,
+        # even if several access paths (approximate leaf + refinement scan)
+        # offer it to the answer set.
+        self._positions: set[int] = set()
+
+    # -- updates -----------------------------------------------------------
+    def offer(self, position: int, squared_distance: float) -> bool:
+        """Offer a candidate; returns True if it entered the current top-k."""
+        if squared_distance < 0:
+            squared_distance = 0.0
+        if position in self._positions:
+            return False
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-squared_distance, position))
+            self._positions.add(position)
+            return True
+        worst = -self._heap[0][0]
+        if squared_distance < worst:
+            _, evicted = heapq.heapreplace(self._heap, (-squared_distance, position))
+            self._positions.discard(evicted)
+            self._positions.add(position)
+            return True
+        return False
+
+    def offer_batch(self, positions: np.ndarray, squared_distances: np.ndarray) -> int:
+        """Offer many candidates at once; returns how many entered the top-k."""
+        admitted = 0
+        for pos, sq in zip(np.asarray(positions), np.asarray(squared_distances)):
+            if self.offer(int(pos), float(sq)):
+                admitted += 1
+        return admitted
+
+    # -- thresholds -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def worst_squared_distance(self) -> float:
+        """Current pruning threshold (squared).  Infinite until k answers exist."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    @property
+    def best_squared_distance(self) -> float:
+        if not self._heap:
+            return float("inf")
+        return min(-d for d, _ in self._heap)
+
+    # -- extraction ----------------------------------------------------------
+    def neighbors(self) -> list[Neighbor]:
+        """The answers sorted by increasing Euclidean distance."""
+        ordered = sorted((-d, pos) for d, pos in self._heap)
+        return [Neighbor(distance=float(np.sqrt(sq)), position=pos) for sq, pos in ordered]
+
+    def positions(self) -> list[int]:
+        return [n.position for n in self.neighbors()]
+
+    def distances(self) -> list[float]:
+        return [n.distance for n in self.neighbors()]
+
+
+@dataclass
+class RangeAnswerSet:
+    """Answers of an r-range query: every series within ``radius`` of the query."""
+
+    radius: float
+    matches: list[Neighbor] = field(default_factory=list)
+
+    def offer(self, position: int, squared_distance: float) -> bool:
+        distance = float(np.sqrt(max(0.0, squared_distance)))
+        if distance <= self.radius:
+            self.matches.append(Neighbor(distance=distance, position=position))
+            return True
+        return False
+
+    def neighbors(self) -> list[Neighbor]:
+        return sorted(self.matches)
+
+    @property
+    def size(self) -> int:
+        return len(self.matches)

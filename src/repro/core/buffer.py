@@ -1,0 +1,113 @@
+"""Simulated memory buffer used during index construction.
+
+The methods in the paper use internal buffers to manage raw data that does not
+fit in memory during index building (§4.3.1 studies buffer-size sensitivity).
+:class:`BufferPool` models that behaviour: callers append series to per-node
+buffers; when the configured capacity is exceeded the pool "spills" the largest
+buffers, which is accounted as sequential writes followed by later re-reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stats import AccessCounter
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Spill accounting for one index build."""
+
+    spills: int = 0
+    series_spilled: int = 0
+    series_buffered: int = 0
+    peak_series_in_memory: int = 0
+
+
+class BufferPool:
+    """Tracks buffered series per index node and simulates spilling to disk.
+
+    Parameters
+    ----------
+    capacity_series:
+        Maximum number of series the pool may hold in memory before spilling.
+        ``None`` means unbounded (everything fits, no spills).
+    series_bytes:
+        On-disk size of one series, used to account spilled bytes.
+    counter:
+        Optional shared :class:`AccessCounter` that receives the simulated I/O
+        caused by spills (one random access per spilled buffer plus sequential
+        pages proportional to the spilled series).
+    page_series:
+        Number of series per page for the sequential-page accounting.
+    """
+
+    def __init__(
+        self,
+        capacity_series: int | None = None,
+        series_bytes: int = 1024,
+        counter: AccessCounter | None = None,
+        page_series: int = 64,
+    ) -> None:
+        if capacity_series is not None and capacity_series <= 0:
+            raise ValueError("capacity_series must be positive or None")
+        self.capacity_series = capacity_series
+        self.series_bytes = series_bytes
+        self.counter = counter if counter is not None else AccessCounter()
+        self.page_series = max(1, page_series)
+        self.stats = BufferStats()
+        self._buffers: dict[object, int] = {}
+        self._in_memory = 0
+
+    # -- operations -----------------------------------------------------------
+    def add(self, node_key: object, count: int = 1) -> None:
+        """Buffer ``count`` series for ``node_key``, spilling if over capacity."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._buffers[node_key] = self._buffers.get(node_key, 0) + count
+        self._in_memory += count
+        self.stats.series_buffered += count
+        self.stats.peak_series_in_memory = max(
+            self.stats.peak_series_in_memory, self._in_memory
+        )
+        if self.capacity_series is not None:
+            while self._in_memory > self.capacity_series and self._buffers:
+                self._spill_largest()
+
+    def flush(self, node_key: object) -> int:
+        """Flush one node's buffer (e.g. when its leaf is finalized)."""
+        count = self._buffers.pop(node_key, 0)
+        self._in_memory -= count
+        return count
+
+    def flush_all(self) -> int:
+        """Flush every buffer (end of the build)."""
+        total = sum(self._buffers.values())
+        self._buffers.clear()
+        self._in_memory = 0
+        return total
+
+    # -- internals --------------------------------------------------------------
+    def _spill_largest(self) -> None:
+        node_key = max(self._buffers, key=self._buffers.get)
+        count = self._buffers.pop(node_key)
+        self._in_memory -= count
+        self.stats.spills += 1
+        self.stats.series_spilled += count
+        # Spilling costs one seek to the node's file plus a sequential write of
+        # the buffered series; the spilled series will be re-read later, which
+        # is modelled as the same cost again (write + read round trip).
+        pages = (count + self.page_series - 1) // self.page_series
+        self.counter.random_accesses += 2
+        self.counter.sequential_pages += 2 * pages
+        self.counter.bytes_read += count * self.series_bytes
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def in_memory_series(self) -> int:
+        return self._in_memory
+
+    def buffered(self, node_key: object) -> int:
+        return self._buffers.get(node_key, 0)

@@ -1,0 +1,202 @@
+"""High-level similarity-search engine and access-path advisor.
+
+:class:`SimilaritySearchEngine` is the public entry point for users who just
+want answers: point it at a dataset, pick (or let it pick) a method, and ask
+k-NN queries.  The access-path advisor encodes the paper's recommendation
+matrix (Figure 10) plus the "scan vs index" observation made for hard queries:
+when the expected pruning is poor, a sequential scan wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .answers import Neighbor
+from .queries import KnnQuery, RangeQuery
+from .registry import create_method
+from .series import Dataset, znormalize
+from .stats import QueryStats
+from .storage import SeriesStore
+
+__all__ = ["SimilaritySearchEngine", "recommend_method", "Recommendation"]
+
+
+@dataclass
+class Recommendation:
+    """A method recommendation with the reasoning behind it."""
+
+    method: str
+    reason: str
+
+
+def recommend_method(
+    dataset_gb: float,
+    series_length: int,
+    memory_gb: float = 75.0,
+    workload_queries: int = 10_000,
+    expected_pruning: float | None = None,
+) -> Recommendation:
+    """Recommend a method following the paper's decision matrix (Figure 10).
+
+    Parameters
+    ----------
+    dataset_gb:
+        Raw dataset size in gigabytes.
+    series_length:
+        Length of each series.
+    memory_gb:
+        Available memory; datasets below this threshold are "in-memory".
+    workload_queries:
+        Expected number of queries amortizing the index construction cost.
+    expected_pruning:
+        Optional estimate of the achievable pruning ratio; when it is very low
+        the advisor falls back to a sequential scan (the paper's observation on
+        hard queries in Table 2).
+    """
+    if expected_pruning is not None and expected_pruning < 0.2:
+        return Recommendation(
+            method="ucr-suite",
+            reason="expected pruning is too low for any index to beat a sequential scan",
+        )
+    in_memory = dataset_gb <= memory_gb
+    long_series = series_length >= 2048
+    if workload_queries < 100:
+        # Few queries: index construction dominates, so the adaptive index wins.
+        return Recommendation(
+            method="ads+",
+            reason="small query workloads are dominated by indexing cost, where ADS+ is fastest",
+        )
+    if in_memory and not long_series:
+        return Recommendation(
+            method="isax2+",
+            reason="in-memory collections of short series: iSAX2+ (with DSTree close behind)",
+        )
+    if in_memory and long_series:
+        return Recommendation(
+            method="dstree",
+            reason="in-memory long series: DSTree or VA+file depending on size; DSTree by default",
+        )
+    if not in_memory and long_series:
+        return Recommendation(
+            method="va+file",
+            reason="disk-resident long series: VA+file (skip-sequential scans become cheap)",
+        )
+    return Recommendation(
+        method="dstree",
+        reason="disk-resident short series: DSTree (VA+file competitive at larger sizes)",
+    )
+
+
+class SimilaritySearchEngine:
+    """Unified front end over every method in the library.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Dataset, SimilaritySearchEngine
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.standard_normal((1000, 64)).cumsum(axis=1)
+    >>> engine = SimilaritySearchEngine(Dataset.from_array(data, normalize=True))
+    >>> engine.build("dstree", leaf_capacity=50)
+    >>> result = engine.search(data[10], k=5)
+    >>> result.positions()[0]
+    10
+    """
+
+    def __init__(self, dataset: Dataset, page_bytes: int = 65536) -> None:
+        self.dataset = dataset
+        self.store = SeriesStore(dataset, page_bytes=page_bytes)
+        self.method = None
+        self.method_name: str | None = None
+
+    # -- construction --------------------------------------------------------------
+    def build(self, method: str | None = None, **params):
+        """Build (or rebuild) the chosen method; ``None`` lets the advisor pick."""
+        if method is None:
+            advice = self.recommend()
+            method = advice.method
+        self.method = create_method(method, self.store, **params)
+        self.method_name = self.method.name
+        self.store.reset_counters()
+        stats = self.method.build()
+        return stats
+
+    def recommend(self, workload_queries: int = 10_000) -> Recommendation:
+        """Access-path recommendation for this dataset (paper Figure 10)."""
+        return recommend_method(
+            dataset_gb=self.dataset.paper_equivalent_gb,
+            series_length=self.dataset.length,
+            workload_queries=workload_queries,
+        )
+
+    # -- querying ---------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        exact: bool = True,
+        normalize: bool = False,
+    ):
+        """Answer a k-NN query with the built method.
+
+        Parameters
+        ----------
+        query:
+            Query series (same length as the dataset's series).
+        k:
+            Number of neighbors.
+        exact:
+            ``False`` runs the method's ng-approximate algorithm where available.
+        normalize:
+            Z-normalize the query first (use when the dataset is normalized but
+            the query is raw).
+        """
+        if self.method is None:
+            raise RuntimeError("build() must be called before search()")
+        series = np.asarray(query, dtype=np.float64)
+        if normalize:
+            series = znormalize(series)
+        knn = KnnQuery(series=series, k=k)
+        if exact:
+            return self.method.knn_exact(knn)
+        return self.method.knn_approximate(knn)
+
+    def range_search(
+        self, query: np.ndarray, radius: float, normalize: bool = False
+    ):
+        """Answer an exact r-range query: every series within ``radius`` of the query."""
+        if self.method is None:
+            raise RuntimeError("build() must be called before range_search()")
+        series = np.asarray(query, dtype=np.float64)
+        if normalize:
+            series = znormalize(series)
+        return self.method.range_exact(RangeQuery(series=series, radius=radius))
+
+    def brute_force(self, query: np.ndarray, k: int = 1) -> list[Neighbor]:
+        """Exact answer by full scan, independent of the built method (ground truth)."""
+        from .distance import squared_euclidean_batch
+
+        q = np.asarray(query, dtype=np.float64)
+        distances = squared_euclidean_batch(q, self.dataset.values)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [
+            Neighbor(distance=float(np.sqrt(distances[i])), position=int(i)) for i in order
+        ]
+
+    # -- reporting ---------------------------------------------------------------------
+    def last_build_stats(self):
+        if self.method is None:
+            raise RuntimeError("no method has been built")
+        return self.method.index_stats
+
+    def describe(self) -> dict:
+        info = {
+            "dataset": self.dataset.name,
+            "series": self.dataset.count,
+            "length": self.dataset.length,
+        }
+        if self.method is not None:
+            info["method"] = self.method.describe()
+        return info

@@ -1,0 +1,116 @@
+"""Saving and loading built indexes.
+
+Index construction is the expensive phase for most of the paper's methods, so a
+library users would adopt needs a way to build once and reuse the structure
+across sessions.  Built methods are serialized together with the fingerprint of
+the dataset they were built on; loading verifies the fingerprint so a stale
+index is never silently used against different data.
+
+The format is Python pickle.  Pickle is appropriate here because indexes are
+local artifacts produced and consumed by the same trusted user; never load
+index files from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .series import Dataset
+from .storage import SeriesStore
+
+__all__ = ["dataset_fingerprint", "save_method", "load_method", "IndexEnvelope"]
+
+_FORMAT_VERSION = 1
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """A stable fingerprint of a dataset's shape and contents.
+
+    Hashes the array shape plus a deterministic sample of rows (first, last,
+    and a strided middle selection), which is enough to detect both shape
+    changes and content changes without hashing gigabytes.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(dataset.values.shape).encode())
+    digest.update(str(dataset.values.dtype).encode())
+    count = dataset.count
+    sample_positions = sorted(set([0, count - 1] + list(range(0, count, max(1, count // 64)))))
+    sample = np.ascontiguousarray(dataset.values[sample_positions])
+    digest.update(sample.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class IndexEnvelope:
+    """What gets written to disk: the method plus provenance metadata."""
+
+    format_version: int
+    method_name: str
+    dataset_name: str
+    dataset_fingerprint: str
+    method_state: bytes
+
+    def summary(self) -> dict:
+        return {
+            "method": self.method_name,
+            "dataset": self.dataset_name,
+            "fingerprint": self.dataset_fingerprint[:12],
+            "bytes": len(self.method_state),
+        }
+
+
+def save_method(method, path: str | Path) -> IndexEnvelope:
+    """Serialize a built method to ``path`` and return the written envelope."""
+    if not getattr(method, "is_built", False):
+        raise ValueError("only built methods can be saved")
+    dataset = method.store.dataset
+    # The raw data is not stored inside the index file: the store is detached
+    # before pickling and re-attached on load (the dataset travels separately).
+    store = method.store
+    method.store = None
+    try:
+        state = pickle.dumps(method, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        method.store = store
+    envelope = IndexEnvelope(
+        format_version=_FORMAT_VERSION,
+        method_name=method.name,
+        dataset_name=dataset.name,
+        dataset_fingerprint=dataset_fingerprint(dataset),
+        method_state=state,
+    )
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return envelope
+
+
+def load_method(path: str | Path, dataset: Dataset, page_bytes: int | None = None):
+    """Load a method saved with :func:`save_method` and re-attach it to ``dataset``.
+
+    Raises ``ValueError`` when the file was produced by a different format
+    version or the dataset does not match the fingerprint recorded at save
+    time.
+    """
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    if not isinstance(envelope, IndexEnvelope):
+        raise ValueError("not an index file produced by repro.core.persistence")
+    if envelope.format_version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version {envelope.format_version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    fingerprint = dataset_fingerprint(dataset)
+    if fingerprint != envelope.dataset_fingerprint:
+        raise ValueError(
+            "dataset fingerprint mismatch: the index was built on different data"
+        )
+    method = pickle.loads(envelope.method_state)
+    store_kwargs = {"page_bytes": page_bytes} if page_bytes else {}
+    method.store = SeriesStore(dataset, **store_kwargs)
+    return method

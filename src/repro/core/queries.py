@@ -1,0 +1,136 @@
+"""Query objects and workloads.
+
+The paper evaluates exact whole-matching 1-NN queries; the query classes here
+also model k-NN with arbitrary ``k``, r-range queries, and the approximate
+flavours defined in §2 of the paper (ng-approximate, epsilon-approximate,
+delta-epsilon-approximate) so the definitions have a concrete home in code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .series import SERIES_DTYPE, znormalize
+
+__all__ = [
+    "MatchingAccuracy",
+    "KnnQuery",
+    "RangeQuery",
+    "QueryWorkload",
+]
+
+
+class MatchingAccuracy(str, Enum):
+    """Accuracy guarantees of a similarity-search algorithm (paper §2)."""
+
+    EXACT = "exact"
+    NG_APPROXIMATE = "ng-approximate"
+    EPSILON_APPROXIMATE = "epsilon-approximate"
+    DELTA_EPSILON_APPROXIMATE = "delta-epsilon-approximate"
+
+
+@dataclass
+class KnnQuery:
+    """A whole-matching k-nearest-neighbor query.
+
+    Attributes
+    ----------
+    series:
+        The query series (same length as every series in the collection).
+    k:
+        Number of neighbors requested (the paper uses ``k=1``).
+    label:
+        Optional workload label (e.g. ``"easy"`` / ``"hard"`` for the controlled
+        workloads in Table 2).
+    """
+
+    series: np.ndarray
+    k: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.series = np.asarray(self.series, dtype=SERIES_DTYPE)
+        if self.series.ndim != 1:
+            raise ValueError("query series must be one-dimensional")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+
+    @property
+    def length(self) -> int:
+        return int(self.series.shape[0])
+
+
+@dataclass
+class RangeQuery:
+    """A whole-matching r-range query (Definition 2 in the paper)."""
+
+    series: np.ndarray
+    radius: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.series = np.asarray(self.series, dtype=SERIES_DTYPE)
+        if self.series.ndim != 1:
+            raise ValueError("query series must be one-dimensional")
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+
+    @property
+    def length(self) -> int:
+        return int(self.series.shape[0])
+
+
+@dataclass
+class QueryWorkload:
+    """A named collection of queries run back-to-back (paper workloads have 100)."""
+
+    name: str
+    queries: list[KnnQuery] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.queries:
+            lengths = {q.length for q in self.queries}
+            if len(lengths) != 1:
+                raise ValueError("all queries in a workload must share one length")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> KnnQuery:
+        return self.queries[index]
+
+    @property
+    def length(self) -> int:
+        if not self.queries:
+            raise ValueError("workload is empty")
+        return self.queries[0].length
+
+    @classmethod
+    def from_array(
+        cls,
+        series: np.ndarray,
+        name: str = "workload",
+        k: int = 1,
+        normalize: bool = False,
+        labels: list[str] | None = None,
+    ) -> "QueryWorkload":
+        """Build a workload from a 2-d array with one query per row."""
+        arr = np.asarray(series, dtype=SERIES_DTYPE)
+        if arr.ndim != 2:
+            raise ValueError("expected a 2-d array of queries")
+        if normalize:
+            arr = znormalize(arr)
+        if labels is None:
+            labels = ["" for _ in range(arr.shape[0])]
+        if len(labels) != arr.shape[0]:
+            raise ValueError("labels must match the number of queries")
+        queries = [
+            KnnQuery(series=row, k=k, label=label) for row, label in zip(arr, labels)
+        ]
+        return cls(name=name, queries=queries)

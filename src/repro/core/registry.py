@@ -1,0 +1,84 @@
+"""Method registry: build any of the paper's ten methods by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .storage import SeriesStore
+
+__all__ = [
+    "METHOD_NAMES",
+    "register_method",
+    "create_method",
+    "available_methods",
+]
+
+_FACTORIES: dict[str, Callable[..., object]] = {}
+
+
+def register_method(name: str, factory: Callable[..., object]) -> None:
+    """Register a factory ``factory(store, **params) -> SearchMethod``."""
+    key = name.lower()
+    _FACTORIES[key] = factory
+
+
+def available_methods() -> list[str]:
+    """Names of every registered method."""
+    _ensure_builtin_methods()
+    return sorted(_FACTORIES)
+
+
+def create_method(name: str, store: SeriesStore, **params):
+    """Instantiate a registered method over ``store``.
+
+    Parameters are forwarded to the method constructor; unknown names raise a
+    ``KeyError`` listing the available methods.
+    """
+    _ensure_builtin_methods()
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown method {name!r}; available: {available_methods()}")
+    return _FACTORIES[key](store, **params)
+
+
+def _ensure_builtin_methods() -> None:
+    if _FACTORIES:
+        return
+    # Imported lazily to avoid a circular import at package import time.
+    from ..indexes import (
+        AdsPlusIndex,
+        DsTreeIndex,
+        Isax2PlusIndex,
+        MTreeIndex,
+        RStarTreeIndex,
+        SfaTrieIndex,
+        StepwiseIndex,
+        VaPlusFileIndex,
+    )
+    from ..sequential import MassScan, UcrSuiteScan
+
+    register_method("ads+", AdsPlusIndex)
+    register_method("dstree", DsTreeIndex)
+    register_method("isax2+", Isax2PlusIndex)
+    register_method("m-tree", MTreeIndex)
+    register_method("r*-tree", RStarTreeIndex)
+    register_method("sfa-trie", SfaTrieIndex)
+    register_method("va+file", VaPlusFileIndex)
+    register_method("stepwise", StepwiseIndex)
+    register_method("ucr-suite", UcrSuiteScan)
+    register_method("mass", MassScan)
+
+
+#: canonical names of the ten methods evaluated in the paper.
+METHOD_NAMES = (
+    "ads+",
+    "dstree",
+    "isax2+",
+    "m-tree",
+    "r*-tree",
+    "sfa-trie",
+    "va+file",
+    "stepwise",
+    "ucr-suite",
+    "mass",
+)

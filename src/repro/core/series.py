@@ -1,0 +1,165 @@
+"""Data series containers and normalization.
+
+A *data series* is an ordered sequence of real-valued points.  In the
+similarity-search setting of the paper, a series of length ``n`` is treated as a
+single point in an ``n``-dimensional space.  This module provides the light-weight
+dataset container used throughout the library, plus z-normalization helpers.
+
+All series are stored as single-precision floats (``float32``), matching the
+paper's experimental setup ("All methods use single precision values").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SERIES_DTYPE",
+    "znormalize",
+    "is_znormalized",
+    "Dataset",
+]
+
+#: dtype used for every series in the library (the paper uses single precision).
+SERIES_DTYPE = np.float32
+
+
+def znormalize(series: np.ndarray, epsilon: float = 1e-8) -> np.ndarray:
+    """Return a z-normalized copy of ``series`` (mean 0, standard deviation 1).
+
+    Works on a single series (1-d array) or a batch of series (2-d array, one
+    series per row).  Series with (near-)zero standard deviation are mapped to
+    all-zeros rather than dividing by zero.
+
+    Parameters
+    ----------
+    series:
+        Input array of shape ``(n,)`` or ``(m, n)``.
+    epsilon:
+        Standard deviations below this threshold are treated as zero.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        mean = arr.mean()
+        std = arr.std()
+        if std < epsilon:
+            return np.zeros_like(arr, dtype=SERIES_DTYPE)
+        return ((arr - mean) / std).astype(SERIES_DTYPE)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 1-d or 2-d array, got ndim={arr.ndim}")
+    mean = arr.mean(axis=1, keepdims=True)
+    std = arr.std(axis=1, keepdims=True)
+    flat = std[:, 0] < epsilon
+    std[flat, 0] = 1.0
+    out = ((arr - mean) / std).astype(SERIES_DTYPE)
+    out[flat] = 0.0
+    return out
+
+
+def is_znormalized(series: np.ndarray, atol: float = 1e-2) -> bool:
+    """Check whether ``series`` (1-d or 2-d) is approximately z-normalized."""
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    means = arr.mean(axis=1)
+    stds = arr.std(axis=1)
+    # Constant (all-zero after normalization) series are accepted.
+    ok_mean = np.abs(means) <= atol
+    ok_std = (np.abs(stds - 1.0) <= atol) | (stds <= atol)
+    return bool(np.all(ok_mean & ok_std))
+
+
+@dataclass
+class Dataset:
+    """An in-memory collection of equal-length data series.
+
+    The paper operates on multi-hundred-gigabyte raw files; this reproduction
+    keeps the collection in a NumPy array and simulates the raw-file access
+    pattern through :class:`repro.core.storage.SeriesStore`.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(count, length)`` holding one series per row.
+    name:
+        Human readable dataset name (used by the benchmark harness).
+    normalized:
+        Whether the rows are z-normalized.  The paper normalizes every dataset
+        in advance; the workload generators in :mod:`repro.workloads` do the
+        same by default.
+    """
+
+    values: np.ndarray
+    name: str = "dataset"
+    normalized: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=SERIES_DTYPE)
+        if values.ndim != 2:
+            raise ValueError(
+                f"Dataset values must be 2-d (count, length); got ndim={values.ndim}"
+            )
+        if values.shape[0] == 0 or values.shape[1] == 0:
+            raise ValueError("Dataset must contain at least one non-empty series")
+        self.values = values
+
+    # -- basic geometry ----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of series in the collection."""
+        return int(self.values.shape[0])
+
+    @property
+    def length(self) -> int:
+        """Length (dimensionality) of each series."""
+        return int(self.values.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the raw data in bytes (single precision)."""
+        return int(self.values.nbytes)
+
+    @property
+    def paper_equivalent_gb(self) -> float:
+        """Raw size in gigabytes.
+
+        The paper labels datasets by their on-disk size; the benchmark harness
+        uses this property to print comparable labels for the scaled-down
+        datasets used here.
+        """
+        return self.nbytes / float(1024**3)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.values[index]
+
+    def iter_series(self):
+        """Iterate over the series in storage order."""
+        for row in self.values:
+            yield row
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_array(
+        cls, values: np.ndarray, name: str = "dataset", normalize: bool = False
+    ) -> "Dataset":
+        """Build a dataset from an array, optionally z-normalizing each row."""
+        arr = np.asarray(values, dtype=SERIES_DTYPE)
+        if normalize:
+            arr = znormalize(arr)
+        return cls(values=arr, name=name, normalized=normalize or is_znormalized(arr))
+
+    def sample(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return ``count`` series sampled without replacement."""
+        if count > self.count:
+            raise ValueError(
+                f"cannot sample {count} series from a dataset of {self.count}"
+            )
+        rng = rng or np.random.default_rng()
+        idx = rng.choice(self.count, size=count, replace=False)
+        return self.values[idx].copy()

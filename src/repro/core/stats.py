@@ -1,0 +1,157 @@
+"""Accounting structures for index construction and query answering.
+
+The paper's evaluation is driven by counters, not just wall-clock time: number
+of random disk accesses (one per leaf visit, or one per skip for skip-sequential
+methods), number of sequential accesses, number of raw series examined (which
+defines the pruning ratio), and CPU vs I/O time breakdowns.  These dataclasses
+collect exactly those quantities so every method reports them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AccessCounter",
+    "QueryStats",
+    "IndexStats",
+    "aggregate_query_stats",
+]
+
+
+@dataclass
+class AccessCounter:
+    """Low-level storage access counters (shared by a store and its readers)."""
+
+    sequential_pages: int = 0
+    random_accesses: int = 0
+    series_read: int = 0
+    bytes_read: int = 0
+
+    def reset(self) -> None:
+        self.sequential_pages = 0
+        self.random_accesses = 0
+        self.series_read = 0
+        self.bytes_read = 0
+
+    def snapshot(self) -> "AccessCounter":
+        return AccessCounter(
+            sequential_pages=self.sequential_pages,
+            random_accesses=self.random_accesses,
+            series_read=self.series_read,
+            bytes_read=self.bytes_read,
+        )
+
+    def diff(self, earlier: "AccessCounter") -> "AccessCounter":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return AccessCounter(
+            sequential_pages=self.sequential_pages - earlier.sequential_pages,
+            random_accesses=self.random_accesses - earlier.random_accesses,
+            series_read=self.series_read - earlier.series_read,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+        )
+
+    def merge(self, other: "AccessCounter") -> None:
+        self.sequential_pages += other.sequential_pages
+        self.random_accesses += other.random_accesses
+        self.series_read += other.series_read
+        self.bytes_read += other.bytes_read
+
+
+@dataclass
+class QueryStats:
+    """Per-query accounting, mirroring the measures in §4.2 of the paper."""
+
+    #: raw series whose full-resolution distance to the query was computed.
+    series_examined: int = 0
+    #: total series in the collection (used to derive the pruning ratio).
+    dataset_size: int = 0
+    #: summarized candidates whose lower bound was evaluated.
+    lower_bounds_computed: int = 0
+    #: random disk accesses (leaf visits, or skips for skip-sequential methods).
+    random_accesses: int = 0
+    #: sequential page reads.
+    sequential_pages: int = 0
+    #: bytes read from the simulated raw-data file.
+    bytes_read: int = 0
+    #: index nodes visited (internal + leaf).
+    nodes_visited: int = 0
+    #: leaf nodes visited.
+    leaves_visited: int = 0
+    #: CPU seconds spent (measured, Python-level; shape-only signal).
+    cpu_seconds: float = 0.0
+    #: simulated I/O seconds under the active hardware cost model.
+    io_seconds: float = 0.0
+    #: distance of the final (exact or approximate) answer.
+    answer_distance: float = float("nan")
+
+    @property
+    def pruning_ratio(self) -> float:
+        """``1 - (#raw series examined / #series in dataset)`` (higher is better)."""
+        if self.dataset_size <= 0:
+            return 0.0
+        ratio = 1.0 - (self.series_examined / self.dataset_size)
+        return max(0.0, min(1.0, ratio))
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.io_seconds
+
+    def merge(self, other: "QueryStats") -> None:
+        self.series_examined += other.series_examined
+        self.lower_bounds_computed += other.lower_bounds_computed
+        self.random_accesses += other.random_accesses
+        self.sequential_pages += other.sequential_pages
+        self.bytes_read += other.bytes_read
+        self.nodes_visited += other.nodes_visited
+        self.leaves_visited += other.leaves_visited
+        self.cpu_seconds += other.cpu_seconds
+        self.io_seconds += other.io_seconds
+        self.dataset_size = max(self.dataset_size, other.dataset_size)
+
+
+@dataclass
+class IndexStats:
+    """Index construction statistics and footprint (Figure 8 in the paper)."""
+
+    method: str = ""
+    total_nodes: int = 0
+    leaf_nodes: int = 0
+    memory_bytes: int = 0
+    disk_bytes: int = 0
+    build_cpu_seconds: float = 0.0
+    build_io_seconds: float = 0.0
+    sequential_pages: int = 0
+    random_accesses: int = 0
+    #: fill factor (fraction of capacity used) per leaf, for the fill-factor boxplots.
+    leaf_fill_factors: list = field(default_factory=list)
+    #: depth of every leaf, for the balance analysis.
+    leaf_depths: list = field(default_factory=list)
+
+    @property
+    def build_seconds(self) -> float:
+        return self.build_cpu_seconds + self.build_io_seconds
+
+    @property
+    def median_fill_factor(self) -> float:
+        if not self.leaf_fill_factors:
+            return 0.0
+        ordered = sorted(self.leaf_fill_factors)
+        mid = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return float(ordered[mid])
+        return float((ordered[mid - 1] + ordered[mid]) / 2.0)
+
+    @property
+    def max_leaf_depth(self) -> int:
+        return max(self.leaf_depths) if self.leaf_depths else 0
+
+
+def aggregate_query_stats(stats: list[QueryStats]) -> QueryStats:
+    """Sum a list of per-query stats into one aggregate (dataset size is kept)."""
+    total = QueryStats()
+    for entry in stats:
+        total.merge(entry)
+    if stats:
+        total.dataset_size = stats[0].dataset_size
+    return total

@@ -1,0 +1,147 @@
+"""Simulated raw-data storage with page-granular access accounting.
+
+The paper's findings hinge on the *access pattern* each method induces on the
+raw data file: full sequential scans (UCR Suite), skip-sequential scans with
+many seeks (ADS+, VA+file), or clustered leaf reads (DSTree, iSAX2+, SFA).
+Since this reproduction keeps data in memory, the :class:`SeriesStore` wraps the
+dataset and counts every access at page granularity, distinguishing sequential
+page reads from random accesses (seeks).  The hardware cost models in
+:mod:`repro.evaluation.hardware` turn those counts into simulated I/O time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .series import Dataset
+from .stats import AccessCounter
+
+__all__ = ["SeriesStore", "DEFAULT_PAGE_BYTES"]
+
+#: default page size in bytes (a typical file-system block / RAID stripe unit).
+DEFAULT_PAGE_BYTES = 65536
+
+
+class SeriesStore:
+    """Page-oriented view over a :class:`~repro.core.series.Dataset`.
+
+    The store exposes three access styles used by the methods in the paper:
+
+    * :meth:`scan` — full sequential scan (UCR Suite, MASS, index build passes);
+    * :meth:`read_block` — contiguous block read, counted as one random access
+      (seek) plus the sequential pages of the block (leaf reads, skip-sequential
+      refinement of ADS+/VA+file);
+    * :meth:`read_one` — single-series random access.
+
+    Every call updates the shared :class:`~repro.core.stats.AccessCounter`, which
+    the experiment runner snapshots around each query.
+    """
+
+    def __init__(self, dataset: Dataset, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        self.dataset = dataset
+        self.page_bytes = int(page_bytes)
+        self.counter = AccessCounter()
+        self._series_bytes = dataset.length * dataset.values.dtype.itemsize
+        self._series_per_page = max(1, self.page_bytes // self._series_bytes)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.dataset.count
+
+    @property
+    def length(self) -> int:
+        return self.dataset.length
+
+    @property
+    def series_bytes(self) -> int:
+        """Size of one series on disk in bytes."""
+        return self._series_bytes
+
+    @property
+    def series_per_page(self) -> int:
+        """Number of series that fit in one page."""
+        return self._series_per_page
+
+    @property
+    def total_pages(self) -> int:
+        """Number of pages occupied by the raw data file."""
+        return (self.count + self._series_per_page - 1) // self._series_per_page
+
+    def pages_for_series(self, count: int) -> int:
+        """Number of pages needed to hold ``count`` consecutive series."""
+        if count <= 0:
+            return 0
+        return (count + self._series_per_page - 1) // self._series_per_page
+
+    # -- access styles ---------------------------------------------------------
+    def scan(self) -> np.ndarray:
+        """Full sequential scan of the raw file.
+
+        Counted as one seek (positioning at the start of the file) plus the
+        sequential pages of the whole file.
+        """
+        self.counter.random_accesses += 1
+        self.counter.sequential_pages += self.total_pages
+        self.counter.series_read += self.count
+        self.counter.bytes_read += self.count * self._series_bytes
+        return self.dataset.values
+
+    def read_block(self, positions: np.ndarray | list[int]) -> np.ndarray:
+        """Read the series at ``positions`` as one contiguous block access.
+
+        The caller guarantees the positions belong to one physical block (e.g.
+        the series materialized in one index leaf).  Counted as a single random
+        access plus the sequential pages covering the block.
+        """
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty((0, self.length), dtype=self.dataset.values.dtype)
+        self.counter.random_accesses += 1
+        self.counter.sequential_pages += self.pages_for_series(int(idx.size))
+        self.counter.series_read += int(idx.size)
+        self.counter.bytes_read += int(idx.size) * self._series_bytes
+        return self.dataset.values[idx]
+
+    def read_contiguous(self, start: int, stop: int) -> np.ndarray:
+        """Read series ``start:stop`` from the raw file as one skip + block read.
+
+        This is the access pattern of skip-sequential algorithms (ADS+ SIMS,
+        VA+file refinement): every gap in the scan costs one seek.
+        """
+        if stop <= start:
+            return np.empty((0, self.length), dtype=self.dataset.values.dtype)
+        count = stop - start
+        self.counter.random_accesses += 1
+        self.counter.sequential_pages += self.pages_for_series(count)
+        self.counter.series_read += count
+        self.counter.bytes_read += count * self._series_bytes
+        return self.dataset.values[start:stop]
+
+    def read_one(self, position: int) -> np.ndarray:
+        """Random access to a single series."""
+        self.counter.random_accesses += 1
+        self.counter.sequential_pages += 1
+        self.counter.series_read += 1
+        self.counter.bytes_read += self._series_bytes
+        return self.dataset.values[position]
+
+    def peek(self, positions: np.ndarray | list[int] | slice) -> np.ndarray:
+        """Access series *without* accounting.
+
+        Used only for building summaries where the build pass is already
+        accounted for with an explicit :meth:`scan`.
+        """
+        return self.dataset.values[positions]
+
+    # -- bookkeeping -----------------------------------------------------------
+    def reset_counters(self) -> None:
+        self.counter.reset()
+
+    def snapshot(self) -> AccessCounter:
+        return self.counter.snapshot()
+
+    def since(self, snapshot: AccessCounter) -> AccessCounter:
+        return self.counter.diff(snapshot)

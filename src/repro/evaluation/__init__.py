@@ -1,0 +1,41 @@
+"""Evaluation framework: hardware models, measures, scenarios, runner, reports."""
+
+from .hardware import HDD, IN_MEMORY, PLATFORMS, SSD, HardwareModel
+from .measures import (
+    FootprintReport,
+    average_pruning_ratio,
+    footprint_report,
+    pruning_ratio,
+    tlb_for_method,
+)
+from .reporting import format_seconds, render_series, render_table
+from .runner import ExperimentResult, run_comparison, run_experiment
+from .scenarios import (
+    SCENARIOS,
+    best_method_per_scenario,
+    easy_hard_indices,
+    scenario_seconds,
+)
+
+__all__ = [
+    "HardwareModel",
+    "HDD",
+    "SSD",
+    "IN_MEMORY",
+    "PLATFORMS",
+    "FootprintReport",
+    "footprint_report",
+    "pruning_ratio",
+    "average_pruning_ratio",
+    "tlb_for_method",
+    "render_table",
+    "render_series",
+    "format_seconds",
+    "ExperimentResult",
+    "run_experiment",
+    "run_comparison",
+    "SCENARIOS",
+    "scenario_seconds",
+    "best_method_per_scenario",
+    "easy_hard_indices",
+]

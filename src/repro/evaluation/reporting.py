@@ -1,0 +1,70 @@
+"""Plain-text rendering of the tables and figure series produced by the benches.
+
+The benchmark harness regenerates the paper's tables and figures as text: each
+figure becomes a table of the series that would be plotted.  Keeping the
+renderer here (rather than in each benchmark) keeps output formats consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly duration."""
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if value < 120.0:
+        return f"{value:.2f}s"
+    if value < 7200.0:
+        return f"{value / 60.0:.1f}min"
+    return f"{value / 3600.0:.2f}h"
+
+
+def render_table(rows: Iterable[dict], title: str = "", floatfmt: str = "{:.4g}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                rendered.append(floatfmt.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(col)), max(len(r[i]) for r in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_series(series: dict, title: str = "", x_label: str = "x") -> str:
+    """Render ``{series_name: [(x, y), ...]}`` as a text table, one row per x."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for name, points in series.items():
+            lookup = dict(points)
+            value = lookup.get(x)
+            row[name] = value if value is not None else ""
+        rows.append(row)
+    return render_table(rows, title=title)

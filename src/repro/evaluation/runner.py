@@ -1,0 +1,157 @@
+"""Experiment runner: build a method, run a workload, collect every measure.
+
+This is the machinery shared by every benchmark in ``benchmarks/``: it mirrors
+the paper's procedure (§4.2) — build (or preprocess), then answer the workload
+query by query with warm caches, recording per-query wall-clock CPU time and
+the simulated I/O derived from the access accounting and the chosen hardware
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.queries import QueryWorkload
+from ..core.registry import create_method
+from ..core.series import Dataset
+from ..core.stats import IndexStats, QueryStats
+from ..core.storage import SeriesStore
+from ..workloads.workload import extrapolate_total
+from .hardware import HDD, HardwareModel
+from .measures import average_pruning_ratio
+
+__all__ = ["ExperimentResult", "run_experiment", "run_comparison"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured for one (method, dataset, workload, platform) cell."""
+
+    method: str
+    dataset: str
+    workload: str
+    platform: str
+    index_stats: IndexStats
+    query_stats: list[QueryStats] = field(default_factory=list)
+    answers: list[list] = field(default_factory=list)
+
+    # -- derived measures -----------------------------------------------------
+    @property
+    def build_seconds(self) -> float:
+        return self.index_stats.build_cpu_seconds + self.index_stats.build_io_seconds
+
+    @property
+    def query_cpu_seconds(self) -> float:
+        return float(sum(s.cpu_seconds for s in self.query_stats))
+
+    @property
+    def query_io_seconds(self) -> float:
+        return float(sum(s.io_seconds for s in self.query_stats))
+
+    @property
+    def query_seconds(self) -> float:
+        return self.query_cpu_seconds + self.query_io_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.query_seconds
+
+    @property
+    def pruning_ratio(self) -> float:
+        return average_pruning_ratio(self.query_stats)
+
+    @property
+    def random_accesses(self) -> int:
+        return int(sum(s.random_accesses for s in self.query_stats))
+
+    @property
+    def sequential_pages(self) -> int:
+        return int(sum(s.sequential_pages for s in self.query_stats))
+
+    def per_query_seconds(self) -> np.ndarray:
+        return np.array([s.total_seconds for s in self.query_stats])
+
+    def extrapolated_total_seconds(self, target_queries: int = 10_000) -> float:
+        """Build time plus the extrapolated cost of a large query workload."""
+        return self.build_seconds + extrapolate_total(
+            self.per_query_seconds(), target_queries=target_queries
+        )
+
+    def scenario_seconds(self, scenario: str) -> float:
+        """Total time of one of the paper's scenarios (see evaluation.scenarios)."""
+        from .scenarios import scenario_seconds
+
+        return scenario_seconds(self, scenario)
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "workload": self.workload,
+            "platform": self.platform,
+            "build_s": round(self.build_seconds, 4),
+            "query_s": round(self.query_seconds, 4),
+            "query_cpu_s": round(self.query_cpu_seconds, 4),
+            "query_io_s": round(self.query_io_seconds, 4),
+            "pruning": round(self.pruning_ratio, 4),
+            "random_io": self.random_accesses,
+            "sequential_pages": self.sequential_pages,
+        }
+
+
+def run_experiment(
+    dataset: Dataset,
+    workload: QueryWorkload,
+    method_name: str,
+    platform: HardwareModel = HDD,
+    method_params: dict | None = None,
+    exact: bool = True,
+    page_bytes: int | None = None,
+) -> ExperimentResult:
+    """Build ``method_name`` over ``dataset`` and answer ``workload``.
+
+    The simulated I/O cost of both the build and every query is priced with
+    ``platform``; caches are considered warm between indexing and querying (the
+    paper's procedure).
+    """
+    store = SeriesStore(dataset, page_bytes=page_bytes or platform.page_bytes)
+    method = create_method(method_name, store, **(method_params or {}))
+    index_stats = method.build()
+    index_stats.build_io_seconds = platform.io_seconds(
+        index_stats.sequential_pages, index_stats.random_accesses
+    )
+
+    result = ExperimentResult(
+        method=method.name,
+        dataset=dataset.name,
+        workload=workload.name,
+        platform=platform.name,
+        index_stats=index_stats,
+    )
+    for query in workload:
+        answer = method.knn_exact(query) if exact else method.knn_approximate(query)
+        stats = platform.price(answer.stats)
+        result.query_stats.append(stats)
+        result.answers.append(answer.neighbors)
+    return result
+
+
+def run_comparison(
+    dataset: Dataset,
+    workload: QueryWorkload,
+    methods: dict,
+    platform: HardwareModel = HDD,
+) -> dict:
+    """Run several methods on the same dataset/workload.
+
+    ``methods`` maps method names to parameter dicts; returns a dict of
+    :class:`ExperimentResult` keyed by method name.
+    """
+    results = {}
+    for name, params in methods.items():
+        results[name] = run_experiment(
+            dataset, workload, name, platform=platform, method_params=params
+        )
+    return results

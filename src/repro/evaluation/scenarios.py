@@ -1,0 +1,91 @@
+"""Evaluation scenarios: the columns of the paper's Table 2.
+
+The paper compares methods under six scenarios: indexing alone (Idx), the cost
+of 100 exact queries (Exact100), indexing plus 100 queries (Idx+Exact100),
+indexing plus an extrapolated 10,000-query workload (Idx+Exact10K), and the
+average time of the 20 easiest / 20 hardest queries (Easy-20 / Hard-20), where
+difficulty is defined by the average pruning ratio across methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.workload import extrapolate_total
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_seconds",
+    "best_method_per_scenario",
+    "easy_hard_indices",
+]
+
+SCENARIOS = (
+    "Idx",
+    "Exact100",
+    "Idx+Exact100",
+    "Idx+Exact10K",
+    "Easy-20",
+    "Hard-20",
+)
+
+
+def easy_hard_indices(results: dict, easiest: int = 20, hardest: int = 20) -> dict:
+    """Classify the workload's queries as easy or hard from the average pruning.
+
+    The paper computes each query's average pruning ratio *across methods* and
+    labels the highest-pruning queries easy and the lowest-pruning ones hard.
+    ``results`` maps method name to :class:`ExperimentResult` (same workload).
+    """
+    per_method = []
+    for result in results.values():
+        per_method.append([s.pruning_ratio for s in result.query_stats])
+    ratios = np.mean(np.asarray(per_method), axis=0)
+    order = np.argsort(-ratios, kind="stable")
+    easiest = min(easiest, order.shape[0])
+    hardest = min(hardest, order.shape[0])
+    return {"easy": order[:easiest].tolist(), "hard": order[-hardest:].tolist()}
+
+
+def scenario_seconds(result, scenario: str, query_subset: list[int] | None = None) -> float:
+    """Total cost of one scenario for one experiment result."""
+    per_query = result.per_query_seconds()
+    if scenario == "Idx":
+        return result.build_seconds
+    if scenario == "Exact100":
+        return float(per_query.sum())
+    if scenario == "Idx+Exact100":
+        return result.build_seconds + float(per_query.sum())
+    if scenario == "Idx+Exact10K":
+        return result.build_seconds + extrapolate_total(per_query, target_queries=10_000)
+    if scenario in ("Easy-20", "Hard-20"):
+        if query_subset is None:
+            raise ValueError(f"{scenario} requires the easy/hard query subset")
+        subset = per_query[np.asarray(query_subset, dtype=np.int64)]
+        return float(subset.mean()) if subset.size else 0.0
+    raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+
+
+def best_method_per_scenario(results: dict) -> dict:
+    """The winning method under every scenario (one row of the paper's Table 2).
+
+    ``results`` maps method name to :class:`ExperimentResult` over the same
+    dataset, workload and platform.
+    """
+    subsets = easy_hard_indices(results)
+    winners = {}
+    for scenario in SCENARIOS:
+        best_name = None
+        best_value = None
+        for name, result in results.items():
+            if scenario == "Easy-20":
+                value = scenario_seconds(result, scenario, subsets["easy"])
+            elif scenario == "Hard-20":
+                value = scenario_seconds(result, scenario, subsets["hard"])
+            else:
+                value = scenario_seconds(result, scenario)
+            if best_value is None or value < best_value:
+                best_value = value
+                best_name = name
+        winners[scenario] = best_name
+    return winners

@@ -1,0 +1,29 @@
+"""Index structures evaluated by the paper.
+
+Every class here implements :class:`repro.indexes.base.SearchMethod` and
+supports exact whole-matching k-NN search; most also support ng-approximate
+search (a single root-to-leaf descent).
+"""
+
+from .base import SearchMethod, SearchResult
+from .isax import Isax2PlusIndex
+from .ads import AdsPlusIndex
+from .dstree import DsTreeIndex
+from .sfa_trie import SfaTrieIndex
+from .vafile import VaPlusFileIndex
+from .mtree import MTreeIndex
+from .rstartree import RStarTreeIndex
+from .stepwise import StepwiseIndex
+
+__all__ = [
+    "SearchMethod",
+    "SearchResult",
+    "Isax2PlusIndex",
+    "AdsPlusIndex",
+    "DsTreeIndex",
+    "SfaTrieIndex",
+    "VaPlusFileIndex",
+    "MTreeIndex",
+    "RStarTreeIndex",
+    "StepwiseIndex",
+]

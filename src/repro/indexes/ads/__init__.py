@@ -1,0 +1,6 @@
+"""ADS+ adaptive data series index."""
+
+from .index import AdsPlusIndex
+from .tree import AdsTree
+
+__all__ = ["AdsPlusIndex", "AdsTree"]

@@ -1,0 +1,119 @@
+"""The adaptive iSAX tree used by ADS+.
+
+The tree only stores PAA summaries and split structure; leaves keep the
+positions of their series but never the raw data (ADS+ materializes raw leaves
+lazily, and its SIMS exact algorithm bypasses leaf materialization entirely by
+scanning the raw file skip-sequentially).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...summarization.sax import IsaxSummarizer, SaxWord
+from ..isax.node import IsaxNode
+
+__all__ = ["AdsTree"]
+
+
+class AdsTree:
+    """iSAX split tree over summaries only."""
+
+    def __init__(self, summarizer: IsaxSummarizer, leaf_capacity: int) -> None:
+        if leaf_capacity <= 0:
+            raise ValueError("leaf_capacity must be positive")
+        self.summarizer = summarizer
+        self.segments = summarizer.segments
+        self.cardinality = summarizer.cardinality
+        self.leaf_capacity = leaf_capacity
+        self.root = IsaxNode(word=None, depth=0, is_leaf=False)
+
+    # -- construction -----------------------------------------------------------
+    def bulk_insert(self, paa: np.ndarray) -> None:
+        for position in range(paa.shape[0]):
+            self.insert(position, paa[position])
+
+    def insert(self, position: int, paa: np.ndarray) -> None:
+        key = self._root_key(paa)
+        child = self.root.children.get(key)
+        if child is None:
+            word = SaxWord(symbols=key, cardinalities=tuple([2] * self.segments))
+            child = IsaxNode(word=word, depth=1, is_leaf=True, parent=self.root)
+            self.root.children[key] = child
+        node = child
+        while not node.is_leaf:
+            node = self._route(node, paa)
+        node.add(position, paa)
+        if node.size > self.leaf_capacity:
+            self._split_leaf(node)
+
+    def _root_key(self, paa: np.ndarray) -> tuple:
+        word = self.summarizer.word_from_paa(paa, tuple([2] * self.segments))
+        return word.symbols
+
+    def _route(self, node: IsaxNode, paa: np.ndarray) -> IsaxNode:
+        segment = node.split_segment
+        word = node.word.promote(segment, float(paa[segment]))
+        child = node.children.get(word.symbols)
+        if child is None:
+            child = min(
+                node.children.values(),
+                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            )
+        return child
+
+    def _split_leaf(self, node: IsaxNode) -> None:
+        paa = np.vstack(node.paa_values)
+        spread = paa.std(axis=0)
+        order = np.argsort(-spread)
+        segment = None
+        for candidate in order:
+            if node.word.cardinalities[int(candidate)] < self.cardinality:
+                segment = int(candidate)
+                break
+        if segment is None:
+            return
+        node.is_leaf = False
+        node.split_segment = segment
+        positions = node.positions
+        paa_values = node.paa_values
+        node.clear_payload()
+        for position, values in zip(positions, paa_values):
+            word = node.word.promote(segment, float(values[segment]))
+            child = node.children.get(word.symbols)
+            if child is None:
+                child = IsaxNode(
+                    word=word, depth=node.depth + 1, is_leaf=True, parent=node
+                )
+                node.children[word.symbols] = child
+            child.add(position, values)
+        for child in node.children.values():
+            if child.size > self.leaf_capacity:
+                self._split_leaf(child)
+
+    # -- navigation ----------------------------------------------------------------
+    def leaf_for(self, paa: np.ndarray) -> IsaxNode | None:
+        key = self._root_key(paa)
+        node = self.root.children.get(key)
+        if node is None:
+            if not self.root.children:
+                return None
+            node = min(
+                self.root.children.values(),
+                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            )
+        while not node.is_leaf:
+            node = self._route(node, paa)
+        return node
+
+    def leaves(self) -> list[IsaxNode]:
+        out = []
+        for child in self.root.children.values():
+            out.extend(child.leaves())
+        return out
+
+    def node_count(self) -> int:
+        total = 1
+        for child in self.root.children.values():
+            total += sum(1 for _ in child.iter_nodes())
+        return total

@@ -1,0 +1,210 @@
+"""Common interface for every similarity-search method in the library.
+
+A :class:`SearchMethod` wraps a :class:`~repro.core.storage.SeriesStore` and
+answers exact (and, where supported, ng-approximate) whole-matching k-NN
+queries, while reporting the accounting structures the paper's evaluation is
+built on (:class:`~repro.core.stats.QueryStats`,
+:class:`~repro.core.stats.IndexStats`).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
+from ..core.distance import squared_euclidean_batch
+from ..core.queries import KnnQuery, RangeQuery
+from ..core.stats import IndexStats, QueryStats
+from ..core.storage import SeriesStore
+
+__all__ = ["SearchMethod", "SearchResult", "RangeSearchResult"]
+
+
+class SearchResult:
+    """Answers plus per-query accounting returned by every method."""
+
+    def __init__(self, neighbors: list[Neighbor], stats: QueryStats) -> None:
+        self.neighbors = neighbors
+        self.stats = stats
+
+    @property
+    def nearest(self) -> Neighbor:
+        if not self.neighbors:
+            raise ValueError("the result set is empty")
+        return self.neighbors[0]
+
+    def positions(self) -> list[int]:
+        return [n.position for n in self.neighbors]
+
+    def distances(self) -> list[float]:
+        return [n.distance for n in self.neighbors]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SearchResult(neighbors={self.neighbors!r})"
+
+
+class RangeSearchResult:
+    """Answers plus accounting for an r-range query."""
+
+    def __init__(self, answers: RangeAnswerSet, stats: QueryStats) -> None:
+        self.answers = answers
+        self.stats = stats
+
+    @property
+    def neighbors(self) -> list[Neighbor]:
+        return self.answers.neighbors()
+
+    def positions(self) -> list[int]:
+        return [n.position for n in self.neighbors]
+
+    def distances(self) -> list[float]:
+        return [n.distance for n in self.neighbors]
+
+    def __len__(self) -> int:
+        return self.answers.size
+
+
+class SearchMethod(abc.ABC):
+    """Abstract base class for the ten evaluated methods.
+
+    Lifecycle::
+
+        method = SomeMethod(store, **parameters)
+        method.build()                    # index construction / preprocessing
+        result = method.knn_exact(query)  # exact whole-matching search
+    """
+
+    #: short name used by the registry and the reports ("isax2+", "dstree", ...)
+    name: str = "method"
+    #: whether the method builds an auxiliary structure (False for UCR Suite).
+    is_index: bool = True
+    #: whether the method supports ng-approximate search.
+    supports_approximate: bool = False
+
+    def __init__(self, store: SeriesStore) -> None:
+        self.store = store
+        self.index_stats = IndexStats(method=self.name)
+        self._built = False
+
+    # -- construction -----------------------------------------------------------
+    def build(self) -> IndexStats:
+        """Build the index (or perform the method's preprocessing step)."""
+        before = self.store.snapshot()
+        start = time.perf_counter()
+        self._build()
+        elapsed = time.perf_counter() - start
+        delta = self.store.since(before)
+        self.index_stats.method = self.name
+        self.index_stats.build_cpu_seconds = elapsed
+        self.index_stats.sequential_pages = delta.sequential_pages
+        self.index_stats.random_accesses = delta.random_accesses
+        self._collect_footprint()
+        self._built = True
+        return self.index_stats
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Method-specific construction."""
+
+    def _collect_footprint(self) -> None:
+        """Populate node counts / sizes in :attr:`index_stats` (optional)."""
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError(f"{self.name}: build() must be called before searching")
+
+    # -- search -------------------------------------------------------------------
+    def knn_exact(self, query: KnnQuery) -> SearchResult:
+        """Answer an exact k-NN query, with timing and access accounting."""
+        self._require_built()
+        before = self.store.snapshot()
+        stats = QueryStats(dataset_size=self.store.count)
+        start = time.perf_counter()
+        answers = self._knn_exact(np.asarray(query.series, dtype=np.float64), query.k, stats)
+        stats.cpu_seconds = time.perf_counter() - start
+        delta = self.store.since(before)
+        stats.random_accesses += delta.random_accesses
+        stats.sequential_pages += delta.sequential_pages
+        stats.bytes_read += delta.bytes_read
+        neighbors = answers.neighbors()
+        if neighbors:
+            stats.answer_distance = neighbors[0].distance
+        return SearchResult(neighbors, stats)
+
+    def knn_approximate(self, query: KnnQuery) -> SearchResult:
+        """Answer an ng-approximate k-NN query (one index path, one leaf)."""
+        self._require_built()
+        if not self.supports_approximate:
+            raise NotImplementedError(f"{self.name} does not support approximate search")
+        before = self.store.snapshot()
+        stats = QueryStats(dataset_size=self.store.count)
+        start = time.perf_counter()
+        answers = self._knn_approximate(
+            np.asarray(query.series, dtype=np.float64), query.k, stats
+        )
+        stats.cpu_seconds = time.perf_counter() - start
+        delta = self.store.since(before)
+        stats.random_accesses += delta.random_accesses
+        stats.sequential_pages += delta.sequential_pages
+        stats.bytes_read += delta.bytes_read
+        neighbors = answers.neighbors()
+        if neighbors:
+            stats.answer_distance = neighbors[0].distance
+        return SearchResult(neighbors, stats)
+
+    def range_exact(self, query: RangeQuery) -> RangeSearchResult:
+        """Answer an exact r-range query (Definition 2 in the paper).
+
+        The default implementation seeds the pruning threshold with the query
+        radius and reuses the method's exact machinery indirectly: every method
+        overrides :meth:`_range_exact` where a better-than-scan strategy
+        exists; the base fallback is a full sequential scan, which is always
+        correct.
+        """
+        self._require_built()
+        before = self.store.snapshot()
+        stats = QueryStats(dataset_size=self.store.count)
+        start = time.perf_counter()
+        answers = self._range_exact(
+            np.asarray(query.series, dtype=np.float64), float(query.radius), stats
+        )
+        stats.cpu_seconds = time.perf_counter() - start
+        delta = self.store.since(before)
+        stats.random_accesses += delta.random_accesses
+        stats.sequential_pages += delta.sequential_pages
+        stats.bytes_read += delta.bytes_read
+        return RangeSearchResult(answers, stats)
+
+    @abc.abstractmethod
+    def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
+        """Method-specific exact search."""
+
+    def _knn_approximate(
+        self, query: np.ndarray, k: int, stats: QueryStats
+    ) -> KnnAnswerSet:
+        raise NotImplementedError
+
+    def _range_exact(
+        self, query: np.ndarray, radius: float, stats: QueryStats
+    ) -> RangeAnswerSet:
+        """Fallback r-range search: a full scan of the raw data (always exact)."""
+        answers = RangeAnswerSet(radius=radius)
+        data = self.store.scan()
+        stats.series_examined += self.store.count
+        distances = squared_euclidean_batch(query, data)
+        within = np.flatnonzero(distances <= radius * radius)
+        for position in within:
+            answers.offer(int(position), float(distances[position]))
+        return answers
+
+    # -- description ---------------------------------------------------------------
+    def describe(self) -> dict:
+        """A small dict describing the method configuration (for reports)."""
+        return {"name": self.name, "is_index": self.is_index}

@@ -1,0 +1,6 @@
+"""DSTree: data-adaptive dynamic segmentation index."""
+
+from .index import DsTreeIndex
+from .node import DsTreeNode, SplitPolicy
+
+__all__ = ["DsTreeIndex", "DsTreeNode", "SplitPolicy"]

@@ -1,0 +1,325 @@
+"""DSTree: a data-adaptive and dynamic segmentation index (EAPCA-based).
+
+The DSTree inserts series one at a time.  Every node keeps an EAPCA synopsis
+(per-segment ranges of means and standard deviations) over its own
+segmentation.  When a leaf overflows it evaluates a set of candidate split
+policies — horizontal splits on a segment's mean or standard deviation, and
+vertical splits that first refine the segmentation — and picks the policy with
+the best expected separation (the heuristic role played by the upper/lower
+bound based quality measure in the original paper).  Query answering uses the
+node synopsis lower bound to prune subtrees, giving the paper's observed
+behaviour: expensive (CPU-heavy) index construction, very fast queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ...core.answers import KnnAnswerSet, RangeAnswerSet
+from ...core.buffer import BufferPool
+from ...core.distance import squared_euclidean_batch
+from ...core.stats import QueryStats
+from ...core.storage import SeriesStore
+from ...summarization.eapca import NodeSynopsis
+from ..base import SearchMethod
+from .node import DsTreeNode, SplitPolicy
+
+__all__ = ["DsTreeIndex"]
+
+
+class DsTreeIndex(SearchMethod):
+    """DSTree index.
+
+    Parameters
+    ----------
+    store:
+        The raw-data store.
+    initial_segments:
+        Number of segments of the root segmentation.
+    leaf_capacity:
+        Maximum series per leaf.
+    max_segments:
+        Cap on how far vertical splits may refine the segmentation.
+    buffer_capacity:
+        Optional in-memory buffer budget (in series) during construction.
+    """
+
+    name = "dstree"
+    supports_approximate = True
+
+    def __init__(
+        self,
+        store: SeriesStore,
+        initial_segments: int = 4,
+        leaf_capacity: int = 100,
+        max_segments: int | None = None,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        super().__init__(store)
+        if leaf_capacity <= 0:
+            raise ValueError("leaf_capacity must be positive")
+        initial_segments = max(1, min(initial_segments, store.length))
+        self.leaf_capacity = leaf_capacity
+        self.max_segments = max_segments or min(store.length, 4 * initial_segments)
+        self.buffer_capacity = buffer_capacity
+        boundaries = self._even_boundaries(store.length, initial_segments)
+        self.root = DsTreeNode(boundaries=boundaries, depth=0, is_leaf=True)
+        self._buffer: BufferPool | None = None
+
+    @staticmethod
+    def _even_boundaries(length: int, segments: int) -> np.ndarray:
+        base = length // segments
+        remainder = length % segments
+        widths = np.full(segments, base, dtype=np.int64)
+        widths[:remainder] += 1
+        boundaries = np.zeros(segments + 1, dtype=np.int64)
+        boundaries[1:] = np.cumsum(widths)
+        return boundaries
+
+    # -- construction ----------------------------------------------------------------
+    def _build(self) -> None:
+        data = self.store.scan()
+        self._buffer = BufferPool(
+            capacity_series=self.buffer_capacity,
+            series_bytes=self.store.series_bytes,
+            counter=self.store.counter,
+            page_series=self.store.series_per_page,
+        )
+        for position in range(self.store.count):
+            self._insert(position, data[position].astype(np.float64))
+        self._buffer.flush_all()
+
+    def _insert(self, position: int, series: np.ndarray) -> None:
+        node = self.root
+        while not node.is_leaf:
+            if node.synopsis is None:
+                node.synopsis = NodeSynopsis.from_series(series, node.boundaries)
+            else:
+                node.synopsis.update(series)
+            node = node.route(series)
+        if node.synopsis is None:
+            node.synopsis = NodeSynopsis.from_series(series, node.boundaries)
+        else:
+            node.synopsis.update(series)
+        node.positions.append(position)
+        self._buffer.add(id(node))
+        if node.size > self.leaf_capacity:
+            self._split_leaf(node)
+
+    # -- splitting ----------------------------------------------------------------------
+    def _candidate_policies(self, node: DsTreeNode, data: np.ndarray) -> list[SplitPolicy]:
+        policies: list[SplitPolicy] = []
+        boundaries = node.boundaries
+        segments = len(boundaries) - 1
+        for segment in range(segments):
+            chunk = data[:, boundaries[segment] : boundaries[segment + 1]]
+            means = chunk.mean(axis=1)
+            stds = chunk.std(axis=1)
+            policies.append(
+                SplitPolicy(kind="mean", segment=segment, threshold=float(np.median(means)))
+            )
+            policies.append(
+                SplitPolicy(kind="std", segment=segment, threshold=float(np.median(stds)))
+            )
+            # Vertical split: subdivide this segment in half if allowed.
+            width = boundaries[segment + 1] - boundaries[segment]
+            if width >= 2 and segments < self.max_segments:
+                refined = self._refine_boundaries(boundaries, segment)
+                left_chunk = data[:, refined[segment] : refined[segment + 1]]
+                policies.append(
+                    SplitPolicy(
+                        kind="mean",
+                        segment=segment,
+                        threshold=float(np.median(left_chunk.mean(axis=1))),
+                        vertical=True,
+                        child_boundaries=refined,
+                    )
+                )
+        return policies
+
+    @staticmethod
+    def _refine_boundaries(boundaries: np.ndarray, segment: int) -> np.ndarray:
+        start = boundaries[segment]
+        stop = boundaries[segment + 1]
+        middle = start + (stop - start) // 2
+        return np.concatenate(
+            [boundaries[: segment + 1], [middle], boundaries[segment + 1 :]]
+        ).astype(np.int64)
+
+    def _policy_quality(
+        self, policy: SplitPolicy, node: DsTreeNode, data: np.ndarray
+    ) -> float:
+        """Quality of a split: balance of the partition times the value spread.
+
+        This plays the role of the QoS measure (derived from upper/lower
+        bounds) used by the original DSTree to rank candidate splits: a good
+        split separates the series into two well-populated groups whose
+        feature values are far apart.
+        """
+        boundaries = policy.child_boundaries if policy.vertical else node.boundaries
+        start = boundaries[policy.segment]
+        stop = boundaries[policy.segment + 1]
+        chunk = data[:, start:stop]
+        values = chunk.mean(axis=1) if policy.kind == "mean" else chunk.std(axis=1)
+        left = values <= policy.threshold
+        left_count = int(left.sum())
+        right_count = values.shape[0] - left_count
+        if left_count == 0 or right_count == 0:
+            return -np.inf
+        balance = min(left_count, right_count) / values.shape[0]
+        spread = float(values.std())
+        return balance * (1.0 + spread)
+
+    def _split_leaf(self, node: DsTreeNode) -> None:
+        data = self.store.peek(np.asarray(node.positions)).astype(np.float64)
+        policies = self._candidate_policies(node, data)
+        scored = [(self._policy_quality(p, node, data), i, p) for i, p in enumerate(policies)]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        best_quality, _, best = scored[0]
+        if not np.isfinite(best_quality):
+            # Every candidate split puts all series on one side; keep the leaf.
+            return
+
+        node.is_leaf = False
+        node.policy = best
+        child_boundaries = (
+            best.child_boundaries if best.vertical else node.boundaries
+        )
+        node.left = DsTreeNode(
+            boundaries=child_boundaries, depth=node.depth + 1, is_leaf=True, parent=node
+        )
+        node.right = DsTreeNode(
+            boundaries=child_boundaries, depth=node.depth + 1, is_leaf=True, parent=node
+        )
+        positions = node.positions
+        node.positions = []
+        self._buffer.flush(id(node))
+        for position, series in zip(positions, data):
+            child = node.route(series)
+            child.positions.append(position)
+            if child.synopsis is None:
+                child.synopsis = NodeSynopsis.from_series(series, child.boundaries)
+            else:
+                child.synopsis.update(series)
+            self._buffer.add(id(child))
+        for child in (node.left, node.right):
+            if child.size > self.leaf_capacity:
+                self._split_leaf(child)
+
+    def _collect_footprint(self) -> None:
+        leaves = self.root.leaves()
+        self.index_stats.total_nodes = sum(1 for _ in self.root.iter_nodes())
+        self.index_stats.leaf_nodes = len(leaves)
+        self.index_stats.leaf_fill_factors = [
+            leaf.size / self.leaf_capacity for leaf in leaves
+        ]
+        self.index_stats.leaf_depths = [leaf.depth for leaf in leaves]
+        per_node = 256  # synopsis + policy bookkeeping
+        self.index_stats.memory_bytes = self.index_stats.total_nodes * per_node
+        self.index_stats.disk_bytes = self.store.count * self.store.series_bytes
+
+    # -- search -------------------------------------------------------------------------
+    def _leaf_for(self, query: np.ndarray) -> DsTreeNode:
+        node = self.root
+        while not node.is_leaf:
+            node = node.route(query)
+        return node
+
+    def _scan_leaf(
+        self,
+        node: DsTreeNode,
+        query: np.ndarray,
+        answers: KnnAnswerSet,
+        stats: QueryStats,
+    ) -> None:
+        if not node.positions:
+            return
+        block = self.store.read_block(np.asarray(node.positions))
+        distances = squared_euclidean_batch(query, block)
+        answers.offer_batch(np.asarray(node.positions), distances)
+        stats.series_examined += len(node.positions)
+        stats.leaves_visited += 1
+        stats.nodes_visited += 1
+
+    def _knn_approximate(
+        self, query: np.ndarray, k: int, stats: QueryStats
+    ) -> KnnAnswerSet:
+        answers = KnnAnswerSet(k)
+        leaf = self._leaf_for(query)
+        self._scan_leaf(leaf, query, answers, stats)
+        return answers
+
+    def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
+        answers = KnnAnswerSet(k)
+        start_leaf = self._leaf_for(query)
+        self._scan_leaf(start_leaf, query, answers, stats)
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, DsTreeNode]] = []
+
+        def push(node: DsTreeNode) -> None:
+            if node.synopsis is None:
+                bound = 0.0
+            else:
+                bound = node.synopsis.lower_bound(query)
+            stats.lower_bounds_computed += 1
+            if bound * bound < answers.worst_squared_distance:
+                heapq.heappush(heap, (bound, next(counter), node))
+
+        push(self.root)
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound * bound >= answers.worst_squared_distance:
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                if node is start_leaf:
+                    continue
+                self._scan_leaf(node, query, answers, stats)
+                continue
+            if node.left is not None:
+                push(node.left)
+            if node.right is not None:
+                push(node.right)
+        return answers
+
+    def _range_exact(
+        self, query: np.ndarray, radius: float, stats: QueryStats
+    ) -> RangeAnswerSet:
+        """r-range query: visit every subtree whose synopsis bound is within range."""
+        answers = RangeAnswerSet(radius=radius)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            bound = 0.0 if node.synopsis is None else node.synopsis.lower_bound(query)
+            stats.lower_bounds_computed += 1
+            if bound > radius:
+                continue
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                if not node.positions:
+                    continue
+                block = self.store.read_block(np.asarray(node.positions))
+                distances = squared_euclidean_batch(query, block)
+                stats.series_examined += len(node.positions)
+                stats.leaves_visited += 1
+                for position, sq in zip(node.positions, distances):
+                    answers.offer(int(position), float(sq))
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return answers
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            leaf_capacity=self.leaf_capacity,
+            max_segments=self.max_segments,
+            initial_segments=len(self.root.boundaries) - 1,
+        )
+        return info

@@ -1,0 +1,89 @@
+"""Nodes and split policies of the DSTree index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...summarization.eapca import NodeSynopsis
+
+__all__ = ["DsTreeNode", "SplitPolicy"]
+
+
+@dataclass
+class SplitPolicy:
+    """A candidate split of a DSTree node.
+
+    Horizontal splits partition the node on a segment's mean or standard
+    deviation around a threshold; vertical splits first subdivide a segment
+    into two halves (refining the segmentation for the children) and then
+    split on the mean of one of the halves.
+    """
+
+    kind: str  # "mean" | "std"
+    segment: int
+    threshold: float
+    vertical: bool = False
+    #: the refined boundaries used by the children (vertical splits only).
+    child_boundaries: np.ndarray | None = None
+
+    def describe(self) -> str:
+        style = "V" if self.vertical else "H"
+        return f"{style}-split seg={self.segment} on {self.kind} @ {self.threshold:.3f}"
+
+
+@dataclass
+class DsTreeNode:
+    """One node of the DSTree.
+
+    Every node owns a segmentation (``boundaries``) and a
+    :class:`~repro.summarization.eapca.NodeSynopsis` over the series routed
+    through it.  Leaves additionally hold the positions of their series.
+    """
+
+    boundaries: np.ndarray
+    depth: int = 0
+    is_leaf: bool = True
+    positions: list[int] = field(default_factory=list)
+    synopsis: NodeSynopsis | None = None
+    policy: SplitPolicy | None = None
+    left: "DsTreeNode | None" = None
+    right: "DsTreeNode | None" = None
+    parent: "DsTreeNode | None" = None
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+    def iter_nodes(self):
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    def leaves(self):
+        return [node for node in self.iter_nodes() if node.is_leaf]
+
+    # -- routing -----------------------------------------------------------------
+    def route(self, series: np.ndarray) -> "DsTreeNode":
+        """Route one series to the child chosen by this node's split policy."""
+        if self.is_leaf or self.policy is None:
+            return self
+        value = self.policy_value(series)
+        return self.left if value <= self.policy.threshold else self.right
+
+    def policy_value(self, series: np.ndarray) -> float:
+        """The feature value (segment mean or std) this node splits on."""
+        policy = self.policy
+        boundaries = policy.child_boundaries if policy.vertical else self.boundaries
+        start = boundaries[policy.segment]
+        stop = boundaries[policy.segment + 1]
+        chunk = np.asarray(series, dtype=np.float64)[start:stop]
+        if policy.kind == "mean":
+            return float(chunk.mean())
+        return float(chunk.std())

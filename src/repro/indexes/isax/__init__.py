@@ -1,0 +1,6 @@
+"""iSAX-family index structures (iSAX2+)."""
+
+from .index import Isax2PlusIndex
+from .node import IsaxNode
+
+__all__ = ["Isax2PlusIndex", "IsaxNode"]

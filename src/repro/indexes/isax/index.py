@@ -1,0 +1,283 @@
+"""iSAX2+ index: bulk-loaded iSAX tree with exact and ng-approximate search.
+
+The index partitions the collection by iSAX words.  The root fans out on the
+word at base cardinality (2 symbols per segment); when a leaf overflows, one
+segment's cardinality is doubled and the leaf's series are redistributed among
+the two resulting children (binary splits, as in iSAX 2.0/2+).  Query answering
+follows the protocol in the paper: an ng-approximate descent to a single leaf
+establishes the best-so-far, after which an exact traversal visits only the
+nodes whose MINDIST lower bound is below the best-so-far.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ...core.answers import KnnAnswerSet, RangeAnswerSet
+from ...core.buffer import BufferPool
+from ...core.distance import squared_euclidean_batch
+from ...core.stats import QueryStats
+from ...core.storage import SeriesStore
+from ...summarization.sax import IsaxSummarizer, SaxWord
+from ..base import SearchMethod
+from .node import IsaxNode
+
+__all__ = ["Isax2PlusIndex"]
+
+
+class Isax2PlusIndex(SearchMethod):
+    """iSAX2+ index over a series store.
+
+    Parameters
+    ----------
+    store:
+        The raw-data store.
+    segments:
+        Number of PAA segments / word length (16 in the paper).
+    cardinality:
+        Maximum per-segment cardinality (256 in the paper).
+    leaf_capacity:
+        Maximum number of series per leaf (the paper's tuned value for the
+        100GB datasets is 100k; scale it with the dataset).
+    buffer_capacity:
+        Optional in-memory buffer budget (in series) used during construction;
+        exceeding it triggers simulated spills.
+    """
+
+    name = "isax2+"
+    supports_approximate = True
+
+    def __init__(
+        self,
+        store: SeriesStore,
+        segments: int = 16,
+        cardinality: int = 256,
+        leaf_capacity: int = 100,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        super().__init__(store)
+        if leaf_capacity <= 0:
+            raise ValueError("leaf_capacity must be positive")
+        segments = min(segments, store.length)
+        self.summarizer = IsaxSummarizer(store.length, segments, cardinality)
+        self.segments = segments
+        self.cardinality = cardinality
+        self.leaf_capacity = leaf_capacity
+        self.buffer_capacity = buffer_capacity
+        self.root = IsaxNode(word=None, depth=0, is_leaf=False)
+        self._buffer: BufferPool | None = None
+
+    # -- construction -------------------------------------------------------------
+    def _build(self) -> None:
+        data = self.store.scan()  # one sequential pass to summarize the raw file
+        paa = self.summarizer.paa.transform_batch(data)
+        self._buffer = BufferPool(
+            capacity_series=self.buffer_capacity,
+            series_bytes=self.store.series_bytes,
+            counter=self.store.counter,
+            page_series=self.store.series_per_page,
+        )
+        for position in range(self.store.count):
+            self._insert(position, paa[position])
+        self._buffer.flush_all()
+
+    def _root_key(self, paa: np.ndarray) -> tuple:
+        word = self.summarizer.word_from_paa(paa, tuple([2] * self.segments))
+        return word.symbols
+
+    def _insert(self, position: int, paa: np.ndarray) -> None:
+        key = self._root_key(paa)
+        child = self.root.children.get(key)
+        if child is None:
+            word = SaxWord(symbols=key, cardinalities=tuple([2] * self.segments))
+            child = IsaxNode(word=word, depth=1, is_leaf=True, parent=self.root)
+            self.root.children[key] = child
+        node = child
+        while not node.is_leaf:
+            node = self._route(node, paa)
+        node.add(position, paa)
+        self._buffer.add(id(node))
+        if node.size > self.leaf_capacity:
+            self._split_leaf(node)
+
+    def _route(self, node: IsaxNode, paa: np.ndarray) -> IsaxNode:
+        """Choose the child of an internal node for a series with PAA ``paa``."""
+        segment = node.split_segment
+        card = node.word.cardinalities[segment] * 2
+        word = node.word.promote(segment, float(paa[segment]))
+        key = word.symbols
+        child = node.children.get(key)
+        if child is None:
+            # The child words of a binary split are fixed; pick the closer one.
+            children = list(node.children.values())
+            best = min(
+                children,
+                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            )
+            return best
+        return child
+
+    def _choose_split_segment(self, node: IsaxNode) -> int | None:
+        """Pick the segment to promote: the one with the highest PAA spread that
+        can still be refined (cardinality below the maximum)."""
+        paa = np.vstack(node.paa_values)
+        spread = paa.std(axis=0)
+        order = np.argsort(-spread)
+        for segment in order:
+            if node.word.cardinalities[int(segment)] < self.cardinality:
+                return int(segment)
+        return None
+
+    def _split_leaf(self, node: IsaxNode) -> None:
+        segment = self._choose_split_segment(node)
+        if segment is None:
+            # Maximum resolution reached on every segment; the leaf overflows.
+            return
+        node.is_leaf = False
+        node.split_segment = segment
+        positions = node.positions
+        paa_values = node.paa_values
+        node.clear_payload()
+        self._buffer.flush(id(node))
+        for position, paa in zip(positions, paa_values):
+            word = node.word.promote(segment, float(paa[segment]))
+            key = word.symbols
+            child = node.children.get(key)
+            if child is None:
+                child = IsaxNode(
+                    word=word, depth=node.depth + 1, is_leaf=True, parent=node
+                )
+                node.children[key] = child
+            child.add(position, paa)
+            self._buffer.add(id(child))
+        for child in node.children.values():
+            if child.size > self.leaf_capacity:
+                self._split_leaf(child)
+
+    def _collect_footprint(self) -> None:
+        leaves = []
+        total = 1  # count the root
+        for child in self.root.children.values():
+            for node in child.iter_nodes():
+                total += 1
+                if node.is_leaf:
+                    leaves.append(node)
+        self.index_stats.total_nodes = total
+        self.index_stats.leaf_nodes = len(leaves)
+        self.index_stats.leaf_fill_factors = [
+            leaf.size / self.leaf_capacity for leaf in leaves
+        ]
+        self.index_stats.leaf_depths = [leaf.depth for leaf in leaves]
+        # summaries kept per series: one PAA vector + symbols per segment
+        per_series = self.segments * (8 + 2)
+        self.index_stats.memory_bytes = self.store.count * per_series + total * 64
+        self.index_stats.disk_bytes = self.store.count * self.store.series_bytes
+
+    # -- search ----------------------------------------------------------------------
+    def _leaf_for(self, paa: np.ndarray) -> IsaxNode | None:
+        key = self._root_key(paa)
+        node = self.root.children.get(key)
+        if node is None:
+            # No exact root child: fall back to the closest root child.
+            if not self.root.children:
+                return None
+            node = min(
+                self.root.children.values(),
+                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            )
+        while not node.is_leaf:
+            node = self._route(node, paa)
+        return node
+
+    def _scan_leaf(
+        self, node: IsaxNode, query: np.ndarray, answers: KnnAnswerSet, stats: QueryStats
+    ) -> None:
+        if not node.positions:
+            return
+        block = self.store.read_block(np.asarray(node.positions))
+        distances = squared_euclidean_batch(query, block)
+        answers.offer_batch(np.asarray(node.positions), distances)
+        stats.series_examined += len(node.positions)
+        stats.leaves_visited += 1
+        stats.nodes_visited += 1
+
+    def _knn_approximate(
+        self, query: np.ndarray, k: int, stats: QueryStats
+    ) -> KnnAnswerSet:
+        answers = KnnAnswerSet(k)
+        paa = self.summarizer.paa.transform(query)
+        leaf = self._leaf_for(paa)
+        if leaf is not None:
+            self._scan_leaf(leaf, query, answers, stats)
+        return answers
+
+    def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
+        paa = self.summarizer.paa.transform(query)
+        # Step 1: ng-approximate descent for the initial best-so-far.
+        answers = KnnAnswerSet(k)
+        start_leaf = self._leaf_for(paa)
+        if start_leaf is not None:
+            self._scan_leaf(start_leaf, query, answers, stats)
+
+        # Step 2: bounded best-first traversal ordered by MINDIST.
+        counter = itertools.count()
+        heap: list[tuple[float, int, IsaxNode]] = []
+        for child in self.root.children.values():
+            bound = self.summarizer.mindist_paa_to_word(paa, child.word)
+            stats.lower_bounds_computed += 1
+            heapq.heappush(heap, (bound, next(counter), child))
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound * bound >= answers.worst_squared_distance:
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                if node is start_leaf:
+                    continue
+                self._scan_leaf(node, query, answers, stats)
+                continue
+            for child in node.children.values():
+                child_bound = self.summarizer.mindist_paa_to_word(paa, child.word)
+                stats.lower_bounds_computed += 1
+                if child_bound * child_bound < answers.worst_squared_distance:
+                    heapq.heappush(heap, (child_bound, next(counter), child))
+        return answers
+
+    def _range_exact(
+        self, query: np.ndarray, radius: float, stats: QueryStats
+    ) -> RangeAnswerSet:
+        """r-range query: visit every node whose MINDIST is within the radius."""
+        answers = RangeAnswerSet(radius=radius)
+        paa = self.summarizer.paa.transform(query)
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            bound = self.summarizer.mindist_paa_to_word(paa, node.word)
+            stats.lower_bounds_computed += 1
+            if bound > radius:
+                continue
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                if not node.positions:
+                    continue
+                block = self.store.read_block(np.asarray(node.positions))
+                distances = squared_euclidean_batch(query, block)
+                stats.series_examined += len(node.positions)
+                stats.leaves_visited += 1
+                for position, sq in zip(node.positions, distances):
+                    answers.offer(int(position), float(sq))
+                continue
+            stack.extend(node.children.values())
+        return answers
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            segments=self.segments,
+            cardinality=self.cardinality,
+            leaf_capacity=self.leaf_capacity,
+        )
+        return info

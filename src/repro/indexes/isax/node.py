@@ -1,0 +1,57 @@
+"""Nodes of the iSAX-family indexes (iSAX2+ and ADS+)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...summarization.sax import SaxWord
+
+__all__ = ["IsaxNode"]
+
+
+@dataclass
+class IsaxNode:
+    """One node of an iSAX tree.
+
+    A node is identified by its :class:`SaxWord` (per-segment symbols at
+    per-segment cardinalities).  Leaves hold the positions of the series they
+    contain along with the PAA values needed to re-split.
+    """
+
+    word: SaxWord | None
+    depth: int = 0
+    is_leaf: bool = True
+    #: positions of the series stored in this leaf (empty for internal nodes).
+    positions: list[int] = field(default_factory=list)
+    #: PAA values of those series (kept so splits can re-symbolize).
+    paa_values: list[np.ndarray] = field(default_factory=list)
+    #: children keyed by their word symbols tuple.
+    children: dict = field(default_factory=dict)
+    #: the segment whose cardinality was doubled to create this node's children.
+    split_segment: int | None = None
+    parent: "IsaxNode | None" = None
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+    def add(self, position: int, paa: np.ndarray) -> None:
+        self.positions.append(position)
+        self.paa_values.append(paa)
+
+    def clear_payload(self) -> None:
+        self.positions = []
+        self.paa_values = []
+
+    def iter_nodes(self):
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def leaves(self):
+        return [node for node in self.iter_nodes() if node.is_leaf]

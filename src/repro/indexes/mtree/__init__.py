@@ -1,0 +1,5 @@
+"""M-tree metric access method."""
+
+from .index import MTreeIndex, MTreeNode
+
+__all__ = ["MTreeIndex", "MTreeNode"]

@@ -1,0 +1,5 @@
+"""R*-tree over PAA summaries."""
+
+from .index import RStarTreeIndex, RStarNode
+
+__all__ = ["RStarTreeIndex", "RStarNode"]

@@ -1,0 +1,5 @@
+"""SFA trie index."""
+
+from .index import SfaTrieIndex, SfaTrieNode
+
+__all__ = ["SfaTrieIndex", "SfaTrieNode"]

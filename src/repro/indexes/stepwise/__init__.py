@@ -1,0 +1,5 @@
+"""Stepwise multi-level DHWT filter."""
+
+from .index import StepwiseIndex
+
+__all__ = ["StepwiseIndex"]

@@ -1,0 +1,5 @@
+"""VA+file quantization-based filter file."""
+
+from .index import VaPlusFileIndex
+
+__all__ = ["VaPlusFileIndex"]

@@ -1,0 +1,6 @@
+"""Sequential (non-indexing) similarity-search methods: UCR Suite and MASS."""
+
+from .ucr_suite import UcrSuiteScan
+from .mass import MassScan
+
+__all__ = ["UcrSuiteScan", "MassScan"]

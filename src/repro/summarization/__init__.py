@@ -1,0 +1,50 @@
+"""Summarization (dimensionality reduction) techniques used by the indexes.
+
+The paper's Figure 1 surveys these techniques; every index in
+:mod:`repro.indexes` is built on one of them:
+
+* :class:`PaaSummarizer` — Piecewise Aggregate Approximation (R*-tree, SAX).
+* :class:`ApcaSummarizer` — Adaptive Piecewise Constant Approximation.
+* :class:`EapcaSummarizer` — Extended APCA with per-segment std (DSTree).
+* :class:`IsaxSummarizer` — SAX / iSAX symbolic words (iSAX2+, ADS+).
+* :class:`SfaSummarizer` — Symbolic Fourier Approximation (SFA trie).
+* :class:`DftSummarizer` — truncated Fourier coefficients (VA+file, MASS).
+* :class:`DhwtSummarizer` — Discrete Haar Wavelet Transform (Stepwise).
+* :class:`VaPlusSummarizer` — VA+ non-uniform scalar quantization (VA+file).
+"""
+
+from .base import Summarizer, tightness_of_lower_bound
+from .paa import PaaSummarizer, paa_transform, paa_lower_bound
+from .apca import ApcaSummarizer, ApcaSegment, apca_transform
+from .eapca import EapcaSummarizer, NodeSynopsis, SegmentSynopsis
+from .sax import IsaxSummarizer, SaxWord, sax_breakpoints
+from .sfa import SfaSummarizer
+from .dft import DftSummarizer, dft_coefficients
+from .dhwt import DhwtSummarizer, haar_transform, inverse_haar_transform
+from .vaplus import VaPlusSummarizer, allocate_bits, lloyd_max_boundaries
+
+__all__ = [
+    "Summarizer",
+    "tightness_of_lower_bound",
+    "PaaSummarizer",
+    "paa_transform",
+    "paa_lower_bound",
+    "ApcaSummarizer",
+    "ApcaSegment",
+    "apca_transform",
+    "EapcaSummarizer",
+    "NodeSynopsis",
+    "SegmentSynopsis",
+    "IsaxSummarizer",
+    "SaxWord",
+    "sax_breakpoints",
+    "SfaSummarizer",
+    "DftSummarizer",
+    "dft_coefficients",
+    "DhwtSummarizer",
+    "haar_transform",
+    "inverse_haar_transform",
+    "VaPlusSummarizer",
+    "allocate_bits",
+    "lloyd_max_boundaries",
+]

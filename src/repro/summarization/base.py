@@ -1,0 +1,79 @@
+"""Common interface for data series summarization techniques.
+
+Every summarizer maps a series of length ``n`` to a reduced representation and
+provides a *lower-bounding* distance: the distance between two summaries (or
+between a query and a summary region) never exceeds the true Euclidean distance
+between the original series.  This is the property indexes use to prune the
+search space without false dismissals.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Summarizer", "tightness_of_lower_bound"]
+
+
+class Summarizer(abc.ABC):
+    """Abstract base class for summarization techniques."""
+
+    #: short identifier used in reports ("paa", "sax", "sfa", ...)
+    name: str = "base"
+
+    def __init__(self, series_length: int, dimensions: int) -> None:
+        if series_length <= 0:
+            raise ValueError("series_length must be positive")
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if dimensions > series_length:
+            raise ValueError(
+                "summary dimensions cannot exceed the series length "
+                f"({dimensions} > {series_length})"
+            )
+        self.series_length = int(series_length)
+        self.dimensions = int(dimensions)
+
+    # -- core API -------------------------------------------------------------
+    @abc.abstractmethod
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        """Summarize one series (1-d) or a batch (2-d, one series per row)."""
+
+    @abc.abstractmethod
+    def lower_bound(self, query_summary: np.ndarray, candidate_summary: np.ndarray) -> float:
+        """Lower bound on the Euclidean distance between the original series."""
+
+    # -- convenience ----------------------------------------------------------
+    def transform_batch(self, series: np.ndarray) -> np.ndarray:
+        """Summarize a batch of series; default delegates to :meth:`transform`."""
+        arr = np.asarray(series)
+        if arr.ndim == 1:
+            return self.transform(arr)[np.newaxis, :]
+        return np.vstack([self.transform(row) for row in arr])
+
+    def lower_bound_batch(
+        self, query_summary: np.ndarray, candidate_summaries: np.ndarray
+    ) -> np.ndarray:
+        """Lower bounds between one query summary and many candidate summaries."""
+        cands = np.asarray(candidate_summaries)
+        if cands.ndim == 1:
+            cands = cands[np.newaxis, :]
+        return np.array(
+            [self.lower_bound(query_summary, row) for row in cands], dtype=np.float64
+        )
+
+
+def tightness_of_lower_bound(
+    lower_bounds: np.ndarray, true_distances: np.ndarray
+) -> float:
+    """TLB: mean ratio of lower-bound distance to true distance (paper §4.2).
+
+    Pairs with a zero true distance are skipped (the ratio is undefined there).
+    """
+    lbs = np.asarray(lower_bounds, dtype=np.float64)
+    true = np.asarray(true_distances, dtype=np.float64)
+    mask = true > 0
+    if not np.any(mask):
+        return 1.0
+    return float(np.mean(lbs[mask] / true[mask]))

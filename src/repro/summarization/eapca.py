@@ -1,0 +1,184 @@
+"""EAPCA summarization (Extended Adaptive Piecewise Constant Approximation).
+
+EAPCA represents each segment of a series by its mean *and* standard deviation.
+It is the summarization behind the DSTree index: a DSTree node keeps, for every
+segment, the range of means and the range of standard deviations of the series
+it contains ("node synopsis"), and derives both a lower- and an upper-bounding
+distance from a query to the node (Wang et al., VLDB 2013).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Summarizer
+
+__all__ = ["EapcaSummarizer", "SegmentSynopsis", "NodeSynopsis"]
+
+
+def _segment_stats(series: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Per-segment (mean, std) for one series or a batch; shape (..., 2*segments)."""
+    arr = np.asarray(series, dtype=np.float64)
+    single = arr.ndim == 1
+    if single:
+        arr = arr[np.newaxis, :]
+    segments = len(boundaries) - 1
+    out = np.empty((arr.shape[0], 2 * segments), dtype=np.float64)
+    for j in range(segments):
+        chunk = arr[:, boundaries[j] : boundaries[j + 1]]
+        out[:, 2 * j] = chunk.mean(axis=1)
+        out[:, 2 * j + 1] = chunk.std(axis=1)
+    return out[0] if single else out
+
+
+@dataclass
+class SegmentSynopsis:
+    """Min/max of the per-series segment means and standard deviations."""
+
+    mean_min: float
+    mean_max: float
+    std_min: float
+    std_max: float
+    width: int
+
+    def contains_mean(self, value: float) -> bool:
+        return self.mean_min <= value <= self.mean_max
+
+
+@dataclass
+class NodeSynopsis:
+    """Synopsis of a set of series over a common segmentation.
+
+    This is the structure a DSTree node maintains; the lower/upper bounding
+    distances between a query and the node are computed from it.
+    """
+
+    boundaries: np.ndarray
+    segments: list
+
+    @classmethod
+    def from_series(cls, series: np.ndarray, boundaries: np.ndarray) -> "NodeSynopsis":
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        segs = []
+        for j in range(len(boundaries) - 1):
+            chunk = arr[:, boundaries[j] : boundaries[j + 1]]
+            means = chunk.mean(axis=1)
+            stds = chunk.std(axis=1)
+            segs.append(
+                SegmentSynopsis(
+                    mean_min=float(means.min()),
+                    mean_max=float(means.max()),
+                    std_min=float(stds.min()),
+                    std_max=float(stds.max()),
+                    width=int(boundaries[j + 1] - boundaries[j]),
+                )
+            )
+        return cls(boundaries=np.asarray(boundaries, dtype=np.int64), segments=segs)
+
+    def update(self, series: np.ndarray) -> None:
+        """Grow the synopsis to cover one more series."""
+        arr = np.asarray(series, dtype=np.float64)
+        for j, seg in enumerate(self.segments):
+            chunk = arr[self.boundaries[j] : self.boundaries[j + 1]]
+            mean = float(chunk.mean())
+            std = float(chunk.std())
+            seg.mean_min = min(seg.mean_min, mean)
+            seg.mean_max = max(seg.mean_max, mean)
+            seg.std_min = min(seg.std_min, std)
+            seg.std_max = max(seg.std_max, std)
+
+    # -- bounding distances ---------------------------------------------------
+    def lower_bound(self, query: np.ndarray) -> float:
+        """Lower bound on the Euclidean distance from ``query`` to any series here.
+
+        For each segment, the squared distance is at least
+        ``width * (mean gap)^2 + width * (std gap)^2`` where the gaps are the
+        distances from the query segment's mean/std to the node's ranges
+        (zero when inside the range).
+        """
+        q = np.asarray(query, dtype=np.float64)
+        total = 0.0
+        for j, seg in enumerate(self.segments):
+            chunk = q[self.boundaries[j] : self.boundaries[j + 1]]
+            q_mean = float(chunk.mean())
+            q_std = float(chunk.std())
+            if q_mean < seg.mean_min:
+                mean_gap = seg.mean_min - q_mean
+            elif q_mean > seg.mean_max:
+                mean_gap = q_mean - seg.mean_max
+            else:
+                mean_gap = 0.0
+            if q_std < seg.std_min:
+                std_gap = seg.std_min - q_std
+            elif q_std > seg.std_max:
+                std_gap = q_std - seg.std_max
+            else:
+                std_gap = 0.0
+            total += seg.width * (mean_gap * mean_gap + std_gap * std_gap)
+        return float(np.sqrt(total))
+
+    def upper_bound(self, query: np.ndarray) -> float:
+        """Upper bound on the distance from ``query`` to *some* series in the node.
+
+        Per segment the distance can be at most
+        ``width * (max mean gap)^2 + width * (q_std + max std)^2``; this mirrors
+        the (loose but safe) upper bound the DSTree uses for split decisions.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        total = 0.0
+        for j, seg in enumerate(self.segments):
+            chunk = q[self.boundaries[j] : self.boundaries[j + 1]]
+            q_mean = float(chunk.mean())
+            q_std = float(chunk.std())
+            mean_gap = max(abs(q_mean - seg.mean_min), abs(q_mean - seg.mean_max))
+            std_sum = q_std + seg.std_max
+            total += seg.width * (mean_gap * mean_gap + std_sum * std_sum)
+        return float(np.sqrt(total))
+
+
+class EapcaSummarizer(Summarizer):
+    """EAPCA summarizer: per-segment (mean, std) with a lower-bounding distance."""
+
+    name = "eapca"
+
+    def __init__(self, series_length: int, segments: int = 8) -> None:
+        super().__init__(series_length, min(segments, series_length))
+        self.segments = min(segments, series_length)
+        base = series_length // self.segments
+        remainder = series_length % self.segments
+        widths = np.full(self.segments, base, dtype=np.int64)
+        widths[:remainder] += 1
+        self.boundaries = np.zeros(self.segments + 1, dtype=np.int64)
+        self.boundaries[1:] = np.cumsum(widths)
+        self._widths = widths.astype(np.float64)
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        return _segment_stats(series, self.boundaries)
+
+    def transform_batch(self, series: np.ndarray) -> np.ndarray:
+        arr = np.asarray(series)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        return _segment_stats(arr, self.boundaries)
+
+    def lower_bound(self, query_summary: np.ndarray, candidate_summary: np.ndarray) -> float:
+        """Lower bound from two EAPCA summaries.
+
+        Uses ``width * ((mean difference)^2 + (std difference)^2)`` per segment,
+        which lower-bounds the true squared distance for series sharing the
+        segmentation.
+        """
+        q = np.asarray(query_summary, dtype=np.float64)
+        c = np.asarray(candidate_summary, dtype=np.float64)
+        mean_diff = q[0::2] - c[0::2]
+        std_diff = q[1::2] - c[1::2]
+        total = np.sum(self._widths * (mean_diff * mean_diff + std_diff * std_diff))
+        return float(np.sqrt(total))
+
+    def synopsis(self, series: np.ndarray) -> NodeSynopsis:
+        """Build a node synopsis over a batch of series."""
+        return NodeSynopsis.from_series(series, self.boundaries)

@@ -1,0 +1,120 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA divides a series into equal-length segments and represents each segment by
+its mean value.  The distance between two PAA representations, scaled by the
+square root of the segment width, lower-bounds the Euclidean distance between
+the original series (Keogh et al., 2001).  PAA is the substrate for SAX/iSAX
+and for the R*-tree variant evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Summarizer
+
+__all__ = ["PaaSummarizer", "paa_transform", "paa_lower_bound"]
+
+
+def segment_boundaries(series_length: int, segments: int) -> np.ndarray:
+    """Start/stop boundaries that split ``series_length`` points into segments.
+
+    When the length is not divisible by the number of segments, the remainder is
+    spread over the leading segments (so segment widths differ by at most one).
+    """
+    if segments <= 0 or segments > series_length:
+        raise ValueError("invalid number of segments")
+    base = series_length // segments
+    remainder = series_length % segments
+    widths = np.full(segments, base, dtype=np.int64)
+    widths[:remainder] += 1
+    boundaries = np.zeros(segments + 1, dtype=np.int64)
+    boundaries[1:] = np.cumsum(widths)
+    return boundaries
+
+
+def paa_transform(series: np.ndarray, segments: int) -> np.ndarray:
+    """PAA transform of one series (1-d) or a batch (2-d)."""
+    arr = np.asarray(series, dtype=np.float64)
+    single = arr.ndim == 1
+    if single:
+        arr = arr[np.newaxis, :]
+    n = arr.shape[1]
+    boundaries = segment_boundaries(n, segments)
+    out = np.empty((arr.shape[0], segments), dtype=np.float64)
+    for j in range(segments):
+        out[:, j] = arr[:, boundaries[j] : boundaries[j + 1]].mean(axis=1)
+    return out[0] if single else out
+
+
+def paa_lower_bound(
+    query_paa: np.ndarray, candidate_paa: np.ndarray, series_length: int
+) -> float:
+    """Lower bound on the Euclidean distance from two PAA representations."""
+    q = np.asarray(query_paa, dtype=np.float64)
+    c = np.asarray(candidate_paa, dtype=np.float64)
+    width = series_length / q.shape[0]
+    diff = q - c
+    return float(np.sqrt(width * np.dot(diff, diff)))
+
+
+class PaaSummarizer(Summarizer):
+    """PAA summarizer with the standard lower-bounding distance."""
+
+    name = "paa"
+
+    def __init__(self, series_length: int, segments: int = 16) -> None:
+        super().__init__(series_length, segments)
+        self.segments = segments
+        self._boundaries = segment_boundaries(series_length, segments)
+        self._widths = np.diff(self._boundaries).astype(np.float64)
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim == 2:
+            return self.transform_batch(arr)
+        if arr.shape[0] != self.series_length:
+            raise ValueError(
+                f"series length {arr.shape[0]} != configured {self.series_length}"
+            )
+        out = np.empty(self.segments, dtype=np.float64)
+        for j in range(self.segments):
+            out[j] = arr[self._boundaries[j] : self._boundaries[j + 1]].mean()
+        return out
+
+    def transform_batch(self, series: np.ndarray) -> np.ndarray:
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim == 1:
+            return self.transform(arr)[np.newaxis, :]
+        out = np.empty((arr.shape[0], self.segments), dtype=np.float64)
+        for j in range(self.segments):
+            out[:, j] = arr[:, self._boundaries[j] : self._boundaries[j + 1]].mean(axis=1)
+        return out
+
+    def lower_bound(self, query_summary: np.ndarray, candidate_summary: np.ndarray) -> float:
+        q = np.asarray(query_summary, dtype=np.float64)
+        c = np.asarray(candidate_summary, dtype=np.float64)
+        diff = q - c
+        return float(np.sqrt(np.sum(self._widths * diff * diff)))
+
+    def lower_bound_batch(
+        self, query_summary: np.ndarray, candidate_summaries: np.ndarray
+    ) -> np.ndarray:
+        q = np.asarray(query_summary, dtype=np.float64)
+        c = np.asarray(candidate_summaries, dtype=np.float64)
+        if c.ndim == 1:
+            c = c[np.newaxis, :]
+        diff = c - q[np.newaxis, :]
+        return np.sqrt(np.sum(self._widths[np.newaxis, :] * diff * diff, axis=1))
+
+    def mindist_to_rectangle(
+        self, query_summary: np.ndarray, lower: np.ndarray, upper: np.ndarray
+    ) -> float:
+        """Lower bound from a query to a PAA bounding rectangle (R*-tree MBR)."""
+        q = np.asarray(query_summary, dtype=np.float64)
+        lo = np.asarray(lower, dtype=np.float64)
+        hi = np.asarray(upper, dtype=np.float64)
+        below = np.clip(lo - q, 0.0, None)
+        above = np.clip(q - hi, 0.0, None)
+        gap = np.maximum(below, above)
+        return float(np.sqrt(np.sum(self._widths * gap * gap)))

@@ -1,0 +1,156 @@
+"""Symbolic Fourier Approximation (SFA).
+
+SFA first transforms a series into a few DFT coefficients, then discretizes
+each coefficient into a symbol using per-coefficient breakpoints learned from a
+sample of the data ("Multiple Coefficient Binning", MCB).  Binning can be
+equi-depth (quantiles of the sample) or equi-width (uniform over the sample
+range).  The lower-bounding distance between a query's raw DFT coefficients and
+an SFA word measures the gap from each query coefficient to the word's cell in
+that dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Summarizer
+from .dft import DftSummarizer
+
+__all__ = ["SfaSummarizer"]
+
+
+class SfaSummarizer(Summarizer):
+    """SFA summarizer with MCB binning and the SFA lower-bounding distance.
+
+    Parameters
+    ----------
+    series_length:
+        Length of the series being summarized.
+    coefficients:
+        Number of retained DFT values (word length); the paper uses 16.
+    alphabet_size:
+        Symbols per coefficient; the paper's tuned value is 8.
+    binning:
+        ``"equi-depth"`` (quantile) or ``"equi-width"`` (uniform) binning.
+    """
+
+    name = "sfa"
+
+    def __init__(
+        self,
+        series_length: int,
+        coefficients: int = 16,
+        alphabet_size: int = 8,
+        binning: str = "equi-depth",
+    ) -> None:
+        super().__init__(series_length, coefficients)
+        if alphabet_size < 2:
+            raise ValueError("alphabet_size must be at least 2")
+        if binning not in ("equi-depth", "equi-width"):
+            raise ValueError("binning must be 'equi-depth' or 'equi-width'")
+        self.coefficients = coefficients
+        self.alphabet_size = alphabet_size
+        self.binning = binning
+        self.dft = DftSummarizer(series_length, coefficients)
+        #: per-coefficient breakpoints, shape (coefficients, alphabet_size - 1)
+        self.breakpoints: np.ndarray | None = None
+
+    # -- training ----------------------------------------------------------------
+    def fit(self, sample: np.ndarray) -> "SfaSummarizer":
+        """Learn per-coefficient breakpoints (MCB) from a sample of series."""
+        arr = np.asarray(sample, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        coeffs = self.dft.transform_batch(arr)
+        breakpoints = np.empty(
+            (self.coefficients, self.alphabet_size - 1), dtype=np.float64
+        )
+        for j in range(self.coefficients):
+            column = np.sort(coeffs[:, j])
+            if self.binning == "equi-depth":
+                quantiles = np.linspace(0, 1, self.alphabet_size + 1)[1:-1]
+                breakpoints[j] = np.quantile(column, quantiles)
+            else:
+                low, high = column[0], column[-1]
+                if high <= low:
+                    high = low + 1e-9
+                breakpoints[j] = np.linspace(low, high, self.alphabet_size + 1)[1:-1]
+            # Breakpoints must be non-decreasing even for degenerate samples.
+            breakpoints[j] = np.maximum.accumulate(breakpoints[j])
+        self.breakpoints = breakpoints
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self.breakpoints is None:
+            raise RuntimeError("SfaSummarizer.fit must be called before transforming")
+        return self.breakpoints
+
+    # -- transforms ----------------------------------------------------------------
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        """SFA word (integer symbols) of one series or a batch."""
+        breakpoints = self._require_fitted()
+        coeffs = self.dft.transform_batch(np.atleast_2d(np.asarray(series)))
+        words = np.empty_like(coeffs, dtype=np.int64)
+        for j in range(self.coefficients):
+            words[:, j] = np.searchsorted(breakpoints[j], coeffs[:, j], side="left")
+        arr = np.asarray(series)
+        return words[0] if arr.ndim == 1 else words
+
+    def transform_batch(self, series: np.ndarray) -> np.ndarray:
+        arr = np.asarray(series)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        return self.transform(arr)
+
+    def dft_of(self, series: np.ndarray) -> np.ndarray:
+        """Raw DFT coefficients of a series (the query side of the lower bound)."""
+        return self.dft.transform(series)
+
+    # -- distances -------------------------------------------------------------------
+    def cell_bounds(self, symbol: int, coefficient: int) -> tuple[float, float]:
+        """The (low, high) interval of a symbol in one coefficient dimension."""
+        breakpoints = self._require_fitted()[coefficient]
+        low = -np.inf if symbol == 0 else float(breakpoints[symbol - 1])
+        high = np.inf if symbol >= self.alphabet_size - 1 else float(breakpoints[symbol])
+        return low, high
+
+    def lower_bound(self, query_summary: np.ndarray, candidate_summary: np.ndarray) -> float:
+        """Lower bound between a query's raw DFT coefficients and an SFA word."""
+        q = np.asarray(query_summary, dtype=np.float64)
+        word = np.asarray(candidate_summary, dtype=np.int64)
+        gaps = np.zeros(self.coefficients, dtype=np.float64)
+        for j in range(self.coefficients):
+            low, high = self.cell_bounds(int(word[j]), j)
+            value = q[j]
+            if value < low:
+                gaps[j] = low - value
+            elif value > high:
+                gaps[j] = value - high
+        # Reuse the DFT summarizer's Parseval weights (conjugate symmetry).
+        weights = self.dft._weights
+        return float(np.sqrt(np.sum(weights * gaps * gaps)))
+
+    def lower_bound_batch(
+        self, query_summary: np.ndarray, candidate_summaries: np.ndarray
+    ) -> np.ndarray:
+        q = np.asarray(query_summary, dtype=np.float64)
+        words = np.asarray(candidate_summaries, dtype=np.int64)
+        if words.ndim == 1:
+            words = words[np.newaxis, :]
+        breakpoints = self._require_fitted()
+        padded = np.empty((self.coefficients, self.alphabet_size + 1), dtype=np.float64)
+        padded[:, 0] = -np.inf
+        padded[:, -1] = np.inf
+        padded[:, 1:-1] = breakpoints
+        # Per-coefficient loop, vectorized over candidates.
+        gaps = np.zeros_like(words, dtype=np.float64)
+        for j in range(self.coefficients):
+            low = padded[j][words[:, j]]
+            high = padded[j][words[:, j] + 1]
+            below = np.clip(low - q[j], 0.0, None)
+            above = np.clip(q[j] - high, 0.0, None)
+            below = np.where(np.isfinite(below), below, 0.0)
+            above = np.where(np.isfinite(above), above, 0.0)
+            gaps[:, j] = below + above
+        weights = self.dft._weights
+        return np.sqrt(np.sum(weights[np.newaxis, :] * gaps * gaps, axis=1))

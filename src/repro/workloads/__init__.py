@@ -1,0 +1,41 @@
+"""Dataset generators and query workloads used by the evaluation."""
+
+from .generators import gaussian_noise, random_walk, random_walk_dataset
+from .noise import controlled_workload, label_by_difficulty, noisy_queries
+from .real_like import (
+    REAL_DATASET_NAMES,
+    astro_like,
+    deep1b_like,
+    real_like_dataset,
+    sald_like,
+    seismic_like,
+)
+from .subsequence import SubsequenceMapping, sliding_windows, subsequence_collection
+from .workload import (
+    extrapolate_total,
+    real_ctrl_workload,
+    synth_ctrl_workload,
+    synth_rand_workload,
+)
+
+__all__ = [
+    "random_walk",
+    "random_walk_dataset",
+    "gaussian_noise",
+    "controlled_workload",
+    "noisy_queries",
+    "label_by_difficulty",
+    "REAL_DATASET_NAMES",
+    "seismic_like",
+    "astro_like",
+    "sald_like",
+    "deep1b_like",
+    "real_like_dataset",
+    "synth_rand_workload",
+    "synth_ctrl_workload",
+    "real_ctrl_workload",
+    "extrapolate_total",
+    "sliding_windows",
+    "subsequence_collection",
+    "SubsequenceMapping",
+]

@@ -1,0 +1,81 @@
+"""Controlled-difficulty query synthesis.
+
+The paper's controlled workloads (Synth-Ctrl, Astro-Ctrl, ...) are built by
+extracting series from the dataset and adding progressively larger amounts of
+noise: the more noise, the farther the query drifts from its original nearest
+neighbor and the harder it becomes to prune (lower pruning ratio, "harder"
+query).  This module implements that procedure and the easy/hard labelling
+used by Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.queries import KnnQuery, QueryWorkload
+from ..core.series import Dataset, znormalize
+
+__all__ = ["noisy_queries", "controlled_workload", "label_by_difficulty"]
+
+
+def noisy_queries(
+    dataset: Dataset,
+    count: int,
+    noise_levels: np.ndarray | list[float] | None = None,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract ``count`` series from the dataset and add increasing noise.
+
+    Returns ``(queries, noise_levels)`` where queries are z-normalized and the
+    i-th query was perturbed with Gaussian noise of standard deviation
+    ``noise_levels[i]`` (relative to the unit variance of normalized series).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    if noise_levels is None:
+        # Progressively larger noise: from near-duplicates to heavily distorted.
+        noise_levels = np.linspace(0.0, 2.0, count)
+    levels = np.asarray(noise_levels, dtype=np.float64)
+    if levels.shape[0] != count:
+        raise ValueError("noise_levels must have one entry per query")
+    base = dataset.sample(count, rng=rng).astype(np.float64)
+    noise = rng.standard_normal(base.shape)
+    queries = base + levels[:, np.newaxis] * noise
+    return znormalize(queries), levels
+
+
+def controlled_workload(
+    dataset: Dataset,
+    count: int = 100,
+    seed: int | None = None,
+    name: str | None = None,
+    k: int = 1,
+) -> QueryWorkload:
+    """A controlled-difficulty workload in the style of the paper's ``*-Ctrl`` sets."""
+    queries, levels = noisy_queries(dataset, count, seed=seed)
+    name = name or f"{dataset.name}-ctrl"
+    labels = ["easy" if lvl <= np.median(levels) else "hard" for lvl in levels]
+    knn_queries = [
+        KnnQuery(series=q, k=k, label=label) for q, label in zip(queries, labels)
+    ]
+    return QueryWorkload(name=name, queries=knn_queries)
+
+
+def label_by_difficulty(
+    workload: QueryWorkload, pruning_ratios: np.ndarray, easiest: int = 20, hardest: int = 20
+) -> dict:
+    """Label queries as easy/hard from their average pruning ratio (paper §4.3.3).
+
+    A query is easy when it achieves a high average pruning ratio across
+    methods and hard when pruning is poor.  Returns a dict with the indices of
+    the ``easiest`` and ``hardest`` queries.
+    """
+    ratios = np.asarray(pruning_ratios, dtype=np.float64)
+    if ratios.shape[0] != len(workload):
+        raise ValueError("one pruning ratio per query is required")
+    order = np.argsort(-ratios, kind="stable")
+    return {
+        "easy": order[:easiest].tolist(),
+        "hard": order[-hardest:].tolist(),
+    }

@@ -1,0 +1,120 @@
+"""Synthetic analogues of the paper's four real datasets.
+
+The paper evaluates on Seismic (IRIS), Astro (celestial light curves), SALD
+(MRI), and Deep1B (CNN embedding vectors).  Those collections are not
+redistributable here, so this module builds synthetic stand-ins that mimic the
+*summarizability* of each domain — the property that actually drives the
+paper's per-dataset differences (pruning ratio and TLB vary across datasets
+because some domains are easier to summarize than others):
+
+* ``seismic_like`` — band-limited noise with occasional high-energy bursts
+  (events), moderately autocorrelated.
+* ``astro_like`` — smooth periodic light curves with transient dips/flares,
+  highly autocorrelated (easy to summarize).
+* ``sald_like`` — smooth low-frequency fMRI-style signals (very easy to
+  summarize).
+* ``deep1b_like`` — nearly uncorrelated embedding-style vectors (hard to
+  summarize; lowest pruning, the regime where serial scans win).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.series import Dataset, znormalize
+
+__all__ = [
+    "seismic_like",
+    "astro_like",
+    "sald_like",
+    "deep1b_like",
+    "real_like_dataset",
+    "REAL_DATASET_NAMES",
+]
+
+REAL_DATASET_NAMES = ("seismic", "astro", "sald", "deep1b")
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average smoothing along the last axis."""
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    out = np.empty_like(values)
+    for i in range(values.shape[0]):
+        out[i] = np.convolve(values[i], kernel, mode="same")
+    return out
+
+
+def seismic_like(count: int, length: int = 256, seed: int | None = None) -> Dataset:
+    """Seismic-instrument-like series: background noise plus bursty events."""
+    rng = np.random.default_rng(seed)
+    background = _smooth(rng.standard_normal((count, length)), window=4)
+    series = background.copy()
+    # Roughly half the series contain an "event": a localized high-energy burst.
+    event_mask = rng.random(count) < 0.5
+    for i in np.flatnonzero(event_mask):
+        center = rng.integers(length // 4, 3 * length // 4)
+        width = rng.integers(max(4, length // 32), max(8, length // 8))
+        amplitude = rng.uniform(3.0, 8.0)
+        positions = np.arange(length)
+        envelope = np.exp(-0.5 * ((positions - center) / width) ** 2)
+        series[i] += amplitude * envelope * rng.standard_normal(length)
+    return Dataset(values=znormalize(series), name="seismic", normalized=True)
+
+
+def astro_like(count: int, length: int = 256, seed: int | None = None) -> Dataset:
+    """Light-curve-like series: smooth periodic signal plus transients."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, length)
+    periods = rng.uniform(0.05, 0.5, count)
+    phases = rng.uniform(0, 2 * np.pi, count)
+    amplitudes = rng.uniform(0.5, 2.0, count)
+    series = amplitudes[:, None] * np.sin(2 * np.pi * t[None, :] / periods[:, None] + phases[:, None])
+    series += 0.15 * rng.standard_normal((count, length))
+    # Occasional transit-like dips.
+    dip_mask = rng.random(count) < 0.3
+    for i in np.flatnonzero(dip_mask):
+        start = rng.integers(0, length - length // 8)
+        series[i, start : start + length // 8] -= rng.uniform(1.0, 3.0)
+    return Dataset(values=znormalize(series), name="astro", normalized=True)
+
+
+def sald_like(count: int, length: int = 128, seed: int | None = None) -> Dataset:
+    """fMRI-like series: very smooth, low-frequency signals."""
+    rng = np.random.default_rng(seed)
+    raw = rng.standard_normal((count, length))
+    smooth = _smooth(raw, window=max(4, length // 16))
+    drift = np.cumsum(rng.standard_normal((count, length)) * 0.05, axis=1)
+    return Dataset(values=znormalize(smooth + drift), name="sald", normalized=True)
+
+
+def deep1b_like(count: int, length: int = 96, seed: int | None = None) -> Dataset:
+    """Embedding-vector-like series: high-entropy, weakly correlated dimensions."""
+    rng = np.random.default_rng(seed)
+    # A CNN descriptor has mild global structure (a few dominant directions)
+    # but is mostly isotropic, which makes it hard to summarize with few
+    # coefficients - reproducing the low pruning ratios of Deep1B.
+    basis = rng.standard_normal((8, length)) / np.sqrt(length)
+    weights = rng.standard_normal((count, 8)) * 0.5
+    structured = weights @ basis
+    noise = rng.standard_normal((count, length))
+    return Dataset(values=znormalize(structured + noise), name="deep1b", normalized=True)
+
+
+def real_like_dataset(
+    name: str, count: int, length: int | None = None, seed: int | None = None
+) -> Dataset:
+    """Build a real-dataset analogue by name (``seismic``/``astro``/``sald``/``deep1b``)."""
+    key = name.lower()
+    defaults = {"seismic": 256, "astro": 256, "sald": 128, "deep1b": 96}
+    if key not in defaults:
+        raise KeyError(f"unknown real dataset analogue {name!r}; use one of {REAL_DATASET_NAMES}")
+    length = length or defaults[key]
+    builders = {
+        "seismic": seismic_like,
+        "astro": astro_like,
+        "sald": sald_like,
+        "deep1b": deep1b_like,
+    }
+    return builders[key](count, length, seed)

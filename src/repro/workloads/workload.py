@@ -1,0 +1,72 @@
+"""Workload assembly: the query sets used by the paper's experiments.
+
+Two kinds of workloads exist:
+
+* ``Synth-Rand`` — queries drawn from the same random-walk generator as the
+  dataset, with a different seed;
+* ``*-Ctrl`` — controlled-difficulty workloads built by extracting series from
+  the dataset and adding progressively larger noise (see
+  :mod:`repro.workloads.noise`).
+
+The paper runs 100 queries per workload and extrapolates 10k-query scenarios by
+dropping the 5 best and 5 worst queries and multiplying the mean of the rest;
+:func:`extrapolate_total` implements that procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.queries import QueryWorkload
+from ..core.series import Dataset
+from .generators import random_walk
+from .noise import controlled_workload
+
+__all__ = [
+    "synth_rand_workload",
+    "synth_ctrl_workload",
+    "real_ctrl_workload",
+    "extrapolate_total",
+]
+
+
+def synth_rand_workload(
+    length: int, count: int = 100, seed: int = 2018, k: int = 1
+) -> QueryWorkload:
+    """Random-walk query workload (the paper's Synth-Rand)."""
+    queries = random_walk(count, length, seed=seed, normalize=True)
+    return QueryWorkload.from_array(queries, name="synth-rand", k=k)
+
+
+def synth_ctrl_workload(
+    dataset: Dataset, count: int = 100, seed: int = 2018, k: int = 1
+) -> QueryWorkload:
+    """Controlled-difficulty workload over a synthetic dataset (Synth-Ctrl)."""
+    return controlled_workload(dataset, count=count, seed=seed, name="synth-ctrl", k=k)
+
+
+def real_ctrl_workload(
+    dataset: Dataset, count: int = 100, seed: int = 2018, k: int = 1
+) -> QueryWorkload:
+    """Controlled-difficulty workload over a real-dataset analogue (``<name>-Ctrl``)."""
+    return controlled_workload(
+        dataset, count=count, seed=seed, name=f"{dataset.name}-ctrl", k=k
+    )
+
+
+def extrapolate_total(
+    per_query_values: np.ndarray | list[float],
+    target_queries: int = 10_000,
+    trim: int = 5,
+) -> float:
+    """Extrapolate a total cost for a large workload (paper §4.2 Procedure).
+
+    Drops the ``trim`` smallest and largest per-query values, averages the
+    rest, and multiplies by ``target_queries``.
+    """
+    values = np.sort(np.asarray(per_query_values, dtype=np.float64))
+    if values.size == 0:
+        return 0.0
+    if values.size > 2 * trim:
+        values = values[trim:-trim]
+    return float(values.mean() * target_queries)

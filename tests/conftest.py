@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, SeriesStore
+from repro.core.queries import KnnQuery
+from repro.workloads import random_walk_dataset, synth_rand_workload
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A small random-walk dataset shared across tests (session scoped, read-only)."""
+    return random_walk_dataset(400, 64, seed=11, name="small")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A very small dataset for the more expensive index builds."""
+    return random_walk_dataset(120, 32, seed=13, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_dataset):
+    """Five random-walk queries matching the small dataset's length."""
+    return synth_rand_workload(small_dataset.length, count=5, seed=97)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries(tiny_dataset):
+    return synth_rand_workload(tiny_dataset.length, count=4, seed=101)
+
+
+@pytest.fixture()
+def store(small_dataset) -> SeriesStore:
+    return SeriesStore(small_dataset)
+
+
+@pytest.fixture()
+def tiny_store(tiny_dataset) -> SeriesStore:
+    return SeriesStore(tiny_dataset)
+
+
+def brute_force_knn(dataset: Dataset, query: np.ndarray, k: int = 1):
+    """Ground-truth k-NN by full scan (squared distances, sorted ascending)."""
+    diffs = dataset.values.astype(np.float64) - np.asarray(query, dtype=np.float64)
+    distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+    order = np.argsort(distances, kind="stable")[:k]
+    return order, distances[order]
+
+
+@pytest.fixture(scope="session")
+def ground_truth(small_dataset, small_queries):
+    """Exact 1-NN answers for the small dataset / small queries pair."""
+    answers = []
+    for query in small_queries:
+        positions, distances = brute_force_knn(small_dataset, query.series, k=1)
+        answers.append((int(positions[0]), float(distances[0])))
+    return answers
+
+
+def make_query(series, k: int = 1) -> KnnQuery:
+    return KnnQuery(series=np.asarray(series), k=k)

@@ -1,0 +1,91 @@
+"""Tests for the k-NN / range answer containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
+
+
+class TestKnnAnswerSet:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            KnnAnswerSet(0)
+
+    def test_keeps_k_best(self):
+        answers = KnnAnswerSet(3)
+        for position, sq in enumerate([9.0, 1.0, 16.0, 4.0, 25.0]):
+            answers.offer(position, sq)
+        assert answers.positions() == [1, 3, 0]
+        assert answers.distances() == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_threshold_infinite_until_full(self):
+        answers = KnnAnswerSet(2)
+        assert answers.worst_squared_distance == float("inf")
+        answers.offer(0, 4.0)
+        assert answers.worst_squared_distance == float("inf")
+        answers.offer(1, 1.0)
+        assert answers.worst_squared_distance == 4.0
+
+    def test_offer_returns_admission(self):
+        answers = KnnAnswerSet(1)
+        assert answers.offer(0, 5.0)
+        assert not answers.offer(1, 6.0)
+        assert answers.offer(2, 1.0)
+
+    def test_negative_distance_clamped(self):
+        answers = KnnAnswerSet(1)
+        answers.offer(0, -1e-12)
+        assert answers.distances()[0] == 0.0
+
+    def test_offer_batch(self):
+        answers = KnnAnswerSet(2)
+        admitted = answers.offer_batch(np.arange(5), np.array([25.0, 16.0, 9.0, 4.0, 1.0]))
+        assert admitted >= 2
+        assert answers.positions() == [4, 3]
+
+    def test_best_squared_distance(self):
+        answers = KnnAnswerSet(3)
+        answers.offer(0, 9.0)
+        answers.offer(1, 4.0)
+        assert answers.best_squared_distance == 4.0
+
+    def test_duplicate_positions_counted_once(self):
+        answers = KnnAnswerSet(3)
+        answers.offer(5, 1.0)
+        assert not answers.offer(5, 1.0)
+        answers.offer(6, 2.0)
+        assert answers.positions() == [5, 6]
+
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_sorted_topk(self, distances, k):
+        """The answer set always equals the k smallest offered distances."""
+        answers = KnnAnswerSet(k)
+        for position, sq in enumerate(distances):
+            answers.offer(position, sq)
+        expected = sorted(distances)[:k]
+        got = [d * d for d in answers.distances()]
+        assert np.allclose(sorted(got), expected, rtol=1e-6, atol=1e-9)
+
+
+class TestNeighbor:
+    def test_ordering_by_distance(self):
+        a = Neighbor(distance=1.0, position=5)
+        b = Neighbor(distance=2.0, position=1)
+        assert a < b
+        assert sorted([b, a])[0] is a
+
+
+class TestRangeAnswerSet:
+    def test_only_matches_within_radius(self):
+        answers = RangeAnswerSet(radius=2.0)
+        assert answers.offer(0, 4.0)       # distance 2.0 (inclusive)
+        assert not answers.offer(1, 4.41)  # distance 2.1
+        assert answers.offer(2, 0.25)
+        assert answers.size == 2
+        assert [n.position for n in answers.neighbors()] == [2, 0]

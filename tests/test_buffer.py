@@ -1,0 +1,63 @@
+"""Tests for the simulated construction buffer pool."""
+
+import pytest
+
+from repro.core.buffer import BufferPool
+from repro.core.stats import AccessCounter
+
+
+class TestBufferPool:
+    def test_unbounded_never_spills(self):
+        pool = BufferPool(capacity_series=None)
+        for node in range(10):
+            pool.add(node, 100)
+        assert pool.stats.spills == 0
+        assert pool.in_memory_series == 1000
+
+    def test_spills_when_over_capacity(self):
+        counter = AccessCounter()
+        pool = BufferPool(capacity_series=100, counter=counter)
+        pool.add("a", 60)
+        pool.add("b", 70)
+        assert pool.stats.spills >= 1
+        assert pool.in_memory_series <= 100
+        assert counter.random_accesses >= 2  # spill write + later re-read
+
+    def test_spills_largest_buffer_first(self):
+        pool = BufferPool(capacity_series=100)
+        pool.add("small", 10)
+        pool.add("big", 95)
+        # "big" exceeded the budget and is the largest buffer, so it spilled.
+        assert pool.buffered("big") == 0
+        assert pool.buffered("small") == 10
+
+    def test_flush_node(self):
+        pool = BufferPool()
+        pool.add("x", 5)
+        assert pool.flush("x") == 5
+        assert pool.buffered("x") == 0
+        assert pool.in_memory_series == 0
+
+    def test_flush_all(self):
+        pool = BufferPool()
+        pool.add("x", 5)
+        pool.add("y", 7)
+        assert pool.flush_all() == 12
+        assert pool.in_memory_series == 0
+
+    def test_peak_tracking(self):
+        pool = BufferPool()
+        pool.add("x", 5)
+        pool.add("y", 10)
+        pool.flush("y")
+        pool.add("z", 1)
+        assert pool.stats.peak_series_in_memory == 15
+
+    def test_rejects_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity_series=0)
+
+    def test_rejects_negative_add(self):
+        pool = BufferPool()
+        with pytest.raises(ValueError):
+            pool.add("x", -1)

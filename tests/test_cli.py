@@ -1,0 +1,123 @@
+"""Tests for the command line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_requires_method(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run"])
+
+    def test_dataset_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--method", "dstree", "--dataset", "astro"])
+        assert args.dataset == "astro"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--method", "dstree", "--dataset", "imagenet"])
+
+
+class TestMethodsCommand:
+    def test_lists_all_methods(self):
+        code, output = run_cli(["methods"])
+        assert code == 0
+        for name in ("dstree", "isax2+", "va+file", "ucr-suite"):
+            assert name in output
+
+
+class TestRecommendCommand:
+    def test_in_memory_short(self):
+        code, output = run_cli(["recommend", "--gb", "25", "--length", "256"])
+        assert code == 0
+        assert "isax2+" in output
+
+    def test_disk_long(self):
+        code, output = run_cli(["recommend", "--gb", "500", "--length", "16384"])
+        assert code == 0
+        assert "va+file" in output
+
+
+class TestRunCommand:
+    def test_run_small_experiment(self):
+        code, output = run_cli(
+            [
+                "run",
+                "--method", "dstree",
+                "--count", "200",
+                "--length", "32",
+                "--queries", "2",
+                "--leaf-size", "25",
+            ]
+        )
+        assert code == 0
+        assert "dstree" in output
+        assert "pruning" in output
+
+    def test_run_unknown_method(self):
+        code, output = run_cli(["run", "--method", "bogus", "--count", "100"])
+        assert code == 2
+        assert "unknown method" in output
+
+    def test_run_real_dataset_analogue(self):
+        code, output = run_cli(
+            [
+                "run",
+                "--method", "va+file",
+                "--dataset", "sald",
+                "--count", "200",
+                "--queries", "2",
+            ]
+        )
+        assert code == 0
+        assert "va+file" in output
+
+    def test_run_controlled_workload_on_ssd(self):
+        code, output = run_cli(
+            [
+                "run",
+                "--method", "ucr-suite",
+                "--count", "150",
+                "--length", "32",
+                "--queries", "2",
+                "--workload", "ctrl",
+                "--platform", "ssd",
+            ]
+        )
+        assert code == 0
+        assert "ucr-suite" in output
+
+
+class TestCompareCommand:
+    def test_compare_two_methods(self):
+        code, output = run_cli(
+            [
+                "compare",
+                "--methods", "dstree,ucr-suite",
+                "--count", "200",
+                "--length", "32",
+                "--queries", "3",
+            ]
+        )
+        assert code == 0
+        assert "best method per scenario" in output
+        assert "Idx+Exact10K" in output
+
+    def test_compare_unknown_method(self):
+        code, output = run_cli(["compare", "--methods", "dstree,bogus", "--count", "100"])
+        assert code == 2
+        assert "unknown methods" in output

@@ -1,0 +1,121 @@
+"""Tests for the shared distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import (
+    dynamic_time_warping,
+    early_abandon_reordered,
+    early_abandon_squared,
+    euclidean,
+    reorder_by_query,
+    squared_euclidean,
+    squared_euclidean_batch,
+)
+
+series_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=64),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestSquaredEuclidean:
+    def test_known_value(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([1.0, 2.0, 2.0])
+        assert squared_euclidean(a, b) == pytest.approx(9.0)
+        assert euclidean(a, b) == pytest.approx(3.0)
+
+    def test_identity(self):
+        a = np.arange(10.0)
+        assert squared_euclidean(a, a) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal(32), rng.standard_normal(32)
+        assert squared_euclidean(a, b) == pytest.approx(squared_euclidean(b, a))
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        query = rng.standard_normal(16)
+        candidates = rng.standard_normal((20, 16))
+        batch = squared_euclidean_batch(query, candidates)
+        scalar = np.array([squared_euclidean(query, c) for c in candidates])
+        assert np.allclose(batch, scalar)
+
+    def test_batch_single_row(self):
+        query = np.zeros(4)
+        candidate = np.ones(4)
+        assert squared_euclidean_batch(query, candidate).shape == (1,)
+
+
+class TestEarlyAbandoning:
+    def test_exact_when_below_threshold(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal(64), rng.standard_normal(64)
+        exact = squared_euclidean(a, b)
+        assert early_abandon_squared(a, b, threshold=exact + 1) == pytest.approx(exact)
+
+    def test_abandons_above_threshold(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(256), rng.standard_normal(256) + 10
+        exact = squared_euclidean(a, b)
+        result = early_abandon_squared(a, b, threshold=exact / 100)
+        assert result > exact / 100
+
+    def test_reordered_exact_when_below_threshold(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.standard_normal(64), rng.standard_normal(64)
+        exact = squared_euclidean(a, b)
+        order = reorder_by_query(a)
+        assert early_abandon_reordered(a, b, exact + 1, order) == pytest.approx(exact)
+
+    def test_reorder_by_query_is_permutation(self):
+        query = np.array([0.1, -3.0, 2.0, 0.0])
+        order = reorder_by_query(query)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+        assert order[0] == 1  # largest |value| first
+
+    @given(series_strategy, st.floats(0.0, 1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_never_underestimates_below_threshold(self, series, threshold):
+        """If the early-abandoning result is <= threshold, it equals the true distance."""
+        rng = np.random.default_rng(7)
+        other = rng.standard_normal(series.shape[0])
+        exact = squared_euclidean(series, other)
+        result = early_abandon_squared(series, other, threshold)
+        if result <= threshold:
+            assert result == pytest.approx(exact, rel=1e-9, abs=1e-9)
+        else:
+            assert exact > threshold or result == pytest.approx(exact, rel=1e-9, abs=1e-9)
+
+
+class TestDynamicTimeWarping:
+    def test_identical_series(self):
+        a = np.sin(np.linspace(0, 4, 32))
+        assert dynamic_time_warping(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dtw_no_greater_than_euclidean(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.standard_normal(32), rng.standard_normal(32)
+        assert dynamic_time_warping(a, b) <= euclidean(a, b) + 1e-9
+
+    def test_window_constrained(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.standard_normal(32), rng.standard_normal(32)
+        unconstrained = dynamic_time_warping(a, b)
+        constrained = dynamic_time_warping(a, b, window=2)
+        assert constrained >= unconstrained - 1e-9
+
+    def test_different_lengths(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 1.0, 1.5, 2.0])
+        assert dynamic_time_warping(a, b) >= 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dynamic_time_warping(np.array([]), np.array([1.0]))

@@ -1,0 +1,158 @@
+"""Edge-case and failure-injection tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, SeriesStore, create_method
+from repro.core.queries import KnnQuery
+from repro.workloads import random_walk_dataset
+
+from .conftest import brute_force_knn
+
+EDGE_METHODS = {
+    "dstree": {"leaf_capacity": 5},
+    "isax2+": {"leaf_capacity": 5},
+    "ads+": {"leaf_capacity": 5},
+    "va+file": {"coefficients": 4, "bits_per_dimension": 2},
+    "sfa-trie": {"leaf_capacity": 10, "coefficients": 4},
+    "ucr-suite": {},
+    "mass": {},
+    "stepwise": {},
+    "m-tree": {"node_capacity": 4},
+    "r*-tree": {"leaf_capacity": 4, "segments": 4},
+}
+
+
+class TestTinyCollections:
+    @pytest.mark.parametrize("method_name", sorted(EDGE_METHODS))
+    def test_single_series_dataset(self, method_name):
+        dataset = random_walk_dataset(1, 16, seed=3)
+        store = SeriesStore(dataset)
+        method = create_method(method_name, store, **EDGE_METHODS[method_name])
+        method.build()
+        result = method.knn_exact(KnnQuery(series=dataset[0], k=1))
+        assert result.nearest.position == 0
+        assert result.nearest.distance == pytest.approx(0.0, abs=1e-5)
+
+    @pytest.mark.parametrize("method_name", sorted(EDGE_METHODS))
+    def test_two_series_dataset(self, method_name):
+        dataset = random_walk_dataset(2, 16, seed=4)
+        store = SeriesStore(dataset)
+        method = create_method(method_name, store, **EDGE_METHODS[method_name])
+        method.build()
+        result = method.knn_exact(KnnQuery(series=dataset[1], k=2))
+        assert set(result.positions()) == {0, 1}
+
+    @pytest.mark.parametrize("method_name", ["dstree", "isax2+", "va+file", "ucr-suite"])
+    def test_k_larger_than_collection(self, method_name):
+        dataset = random_walk_dataset(5, 16, seed=5)
+        store = SeriesStore(dataset)
+        method = create_method(method_name, store, **EDGE_METHODS[method_name])
+        method.build()
+        result = method.knn_exact(KnnQuery(series=dataset[0], k=10))
+        # Only 5 answers can exist.
+        assert len(result.neighbors) == 5
+        assert sorted(result.positions()) == [0, 1, 2, 3, 4]
+
+
+class TestExtremeParameters:
+    def test_leaf_capacity_one_isax(self):
+        dataset = random_walk_dataset(60, 32, seed=6)
+        method = create_method("isax2+", SeriesStore(dataset), leaf_capacity=1)
+        method.build()
+        query = KnnQuery(series=dataset[7])
+        assert method.knn_exact(query).nearest.position == 7
+
+    def test_leaf_capacity_one_dstree(self):
+        dataset = random_walk_dataset(60, 32, seed=7)
+        method = create_method("dstree", SeriesStore(dataset), leaf_capacity=1)
+        method.build()
+        query = KnnQuery(series=dataset[9])
+        assert method.knn_exact(query).nearest.position == 9
+
+    def test_short_series_with_many_segments(self):
+        """Requesting more segments than points must degrade gracefully."""
+        dataset = random_walk_dataset(50, 8, seed=8)
+        method = create_method("isax2+", SeriesStore(dataset), segments=16, leaf_capacity=10)
+        method.build()
+        query = KnnQuery(series=dataset[3])
+        assert method.knn_exact(query).nearest.position == 3
+
+    def test_very_small_buffer_still_correct(self):
+        dataset = random_walk_dataset(80, 32, seed=9)
+        method = create_method(
+            "dstree", SeriesStore(dataset), leaf_capacity=10, buffer_capacity=5
+        )
+        method.build()
+        _, truth = brute_force_knn(dataset, dataset[11], k=1)
+        result = method.knn_exact(KnnQuery(series=dataset[11]))
+        assert result.nearest.distance == pytest.approx(truth[0], abs=1e-5)
+        # The tiny buffer must have forced spills.
+        assert method._buffer.stats.spills > 0
+
+    def test_sfa_alphabet_two(self):
+        dataset = random_walk_dataset(100, 32, seed=10)
+        method = create_method(
+            "sfa-trie", SeriesStore(dataset), alphabet_size=2, coefficients=4, leaf_capacity=10
+        )
+        method.build()
+        query = KnnQuery(series=dataset[13])
+        assert method.knn_exact(query).nearest.position == 13
+
+
+class TestAdversarialData:
+    def test_all_identical_series_knn(self):
+        values = np.tile(np.linspace(-1, 1, 32, dtype=np.float32), (40, 1))
+        dataset = Dataset(values=values, name="identical", normalized=False)
+        for name in ("dstree", "isax2+", "va+file"):
+            method = create_method(name, SeriesStore(dataset), **EDGE_METHODS[name])
+            method.build()
+            result = method.knn_exact(KnnQuery(series=values[0], k=3))
+            assert all(d == pytest.approx(0.0, abs=1e-6) for d in result.distances())
+
+    def test_extreme_magnitudes(self):
+        rng = np.random.default_rng(11)
+        values = (rng.standard_normal((60, 32)) * 1e6).astype(np.float32)
+        dataset = Dataset(values=values, name="huge-values", normalized=False)
+        for name in ("dstree", "ucr-suite", "va+file"):
+            method = create_method(name, SeriesStore(dataset), **EDGE_METHODS[name])
+            method.build()
+            _, truth = brute_force_knn(dataset, values[5], k=1)
+            result = method.knn_exact(KnnQuery(series=values[5]))
+            assert result.nearest.distance == pytest.approx(truth[0], rel=1e-4)
+
+    def test_query_far_outside_data_distribution(self, small_dataset):
+        """A query far from every series still returns the true nearest neighbor."""
+        far_query = np.full(small_dataset.length, 50.0)
+        _, truth = brute_force_knn(small_dataset, far_query, k=1)
+        for name in ("dstree", "isax2+", "va+file"):
+            method = create_method(name, SeriesStore(small_dataset), **EDGE_METHODS[name])
+            method.build()
+            result = method.knn_exact(KnnQuery(series=far_query))
+            assert result.nearest.distance == pytest.approx(truth[0], rel=1e-5)
+
+    def test_query_with_nan_produces_no_silent_answer(self, small_dataset):
+        """NaN queries must not silently return a fabricated neighbor distance."""
+        bad_query = np.full(small_dataset.length, np.nan, dtype=np.float32)
+        method = create_method("ucr-suite", SeriesStore(small_dataset))
+        method.build()
+        result = method.knn_exact(KnnQuery(series=bad_query))
+        # Distances to NaN queries are NaN; the scan keeps the first candidates
+        # but their reported distances are NaN, never a misleading number.
+        assert all(np.isnan(d) or d >= 0 for d in result.distances())
+
+
+class TestStoreMisuse:
+    def test_mismatched_query_length_raises(self, small_dataset):
+        method = create_method("ucr-suite", SeriesStore(small_dataset))
+        method.build()
+        short_query = np.zeros(small_dataset.length // 2)
+        with pytest.raises((ValueError, Exception)):
+            method.knn_exact(KnnQuery(series=short_query))
+
+    def test_double_build_is_idempotent_for_scan(self, small_dataset):
+        method = create_method("ucr-suite", SeriesStore(small_dataset))
+        method.build()
+        method.build()
+        result = method.knn_exact(KnnQuery(series=small_dataset[0]))
+        assert result.nearest.position == 0

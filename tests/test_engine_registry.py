@@ -1,0 +1,129 @@
+"""Tests for the public engine, registry and access-path advisor."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    METHOD_NAMES,
+    SimilaritySearchEngine,
+    available_methods,
+    create_method,
+    recommend_method,
+    register_method,
+)
+from repro.core.registry import _FACTORIES
+from repro.core.storage import SeriesStore
+from repro.workloads import random_walk_dataset
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        names = available_methods()
+        for name in METHOD_NAMES:
+            assert name in names
+
+    def test_unknown_method_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            create_method("nonexistent", SeriesStore(small_dataset))
+
+    def test_create_method_forwards_params(self, small_dataset):
+        method = create_method("isax2+", SeriesStore(small_dataset), leaf_capacity=33)
+        assert method.leaf_capacity == 33
+
+    def test_register_custom_method(self, small_dataset):
+        class Dummy:
+            name = "dummy"
+
+            def __init__(self, store):
+                self.store = store
+
+        register_method("dummy-method", Dummy)
+        try:
+            method = create_method("dummy-method", SeriesStore(small_dataset))
+            assert method.name == "dummy"
+        finally:
+            _FACTORIES.pop("dummy-method", None)
+
+
+class TestRecommendation:
+    def test_in_memory_short_series(self):
+        advice = recommend_method(dataset_gb=25, series_length=256)
+        assert advice.method == "isax2+"
+
+    def test_disk_resident_long_series(self):
+        advice = recommend_method(dataset_gb=500, series_length=16384)
+        assert advice.method == "va+file"
+
+    def test_disk_resident_short_series(self):
+        advice = recommend_method(dataset_gb=500, series_length=256)
+        assert advice.method == "dstree"
+
+    def test_low_pruning_falls_back_to_scan(self):
+        advice = recommend_method(dataset_gb=100, series_length=96, expected_pruning=0.05)
+        assert advice.method == "ucr-suite"
+
+    def test_tiny_workload_prefers_ads(self):
+        advice = recommend_method(dataset_gb=100, series_length=256, workload_queries=10)
+        assert advice.method == "ads+"
+
+    def test_reason_is_informative(self):
+        advice = recommend_method(dataset_gb=25, series_length=256)
+        assert len(advice.reason) > 10
+
+
+class TestEngine:
+    @pytest.fixture()
+    def engine(self):
+        dataset = random_walk_dataset(300, 48, seed=3)
+        return SimilaritySearchEngine(dataset)
+
+    def test_search_requires_build(self, engine):
+        with pytest.raises(RuntimeError):
+            engine.search(np.zeros(48))
+
+    def test_build_and_search(self, engine):
+        engine.build("dstree", leaf_capacity=30)
+        query = engine.dataset[5]
+        result = engine.search(query, k=3)
+        assert result.positions()[0] == 5
+        assert result.distances()[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_search_matches_brute_force(self, engine):
+        engine.build("isax2+", leaf_capacity=30)
+        rng = np.random.default_rng(9)
+        query = rng.standard_normal(48)
+        truth = engine.brute_force(query, k=4)
+        result = engine.search(query, k=4)
+        assert result.positions() == [n.position for n in truth]
+
+    def test_auto_build_uses_recommendation(self, engine):
+        engine.build()  # advisor picks something sensible for a tiny dataset
+        assert engine.method_name in METHOD_NAMES
+
+    def test_approximate_search(self, engine):
+        engine.build("isax2+", leaf_capacity=30)
+        result = engine.search(engine.dataset[0], k=1, exact=False)
+        assert result.neighbors
+
+    def test_normalize_flag(self, engine):
+        engine.build("ucr-suite")
+        raw_query = engine.dataset[3].astype(np.float64) * 10 + 5
+        result = engine.search(raw_query, k=1, normalize=True)
+        assert result.positions()[0] == 3
+
+    def test_last_build_stats(self, engine):
+        engine.build("dstree", leaf_capacity=30)
+        stats = engine.last_build_stats()
+        assert stats.method == "dstree"
+        assert stats.total_nodes > 0
+
+    def test_describe(self, engine):
+        engine.build("va+file")
+        info = engine.describe()
+        assert info["series"] == 300
+        assert info["method"]["name"] == "va+file"
+
+    def test_last_build_stats_requires_build(self, engine):
+        with pytest.raises(RuntimeError):
+            engine.last_build_stats()

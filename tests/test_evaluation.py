@@ -1,0 +1,213 @@
+"""Tests for the evaluation framework: hardware models, measures, runner, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import SeriesStore, create_method
+from repro.core.stats import IndexStats, QueryStats
+from repro.evaluation import (
+    HDD,
+    IN_MEMORY,
+    SSD,
+    HardwareModel,
+    average_pruning_ratio,
+    best_method_per_scenario,
+    easy_hard_indices,
+    footprint_report,
+    format_seconds,
+    render_series,
+    render_table,
+    run_comparison,
+    run_experiment,
+    scenario_seconds,
+    tlb_for_method,
+)
+from repro.evaluation.scenarios import SCENARIOS
+from repro.workloads import random_walk_dataset, synth_rand_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_experiment_inputs():
+    dataset = random_walk_dataset(150, 32, seed=21, name="eval-tiny")
+    workload = synth_rand_workload(32, count=6, seed=22)
+    return dataset, workload
+
+
+class TestHardwareModels:
+    def test_hdd_sequential_faster_than_ssd(self):
+        # The paper's HDD RAID has ~4x the sequential throughput of its SSD box.
+        pages = 10_000
+        assert HDD.io_seconds(pages, 0) < SSD.io_seconds(pages, 0)
+
+    def test_ssd_random_faster_than_hdd(self):
+        assert SSD.io_seconds(0, 1000) < HDD.io_seconds(0, 1000)
+
+    def test_in_memory_is_cheapest(self):
+        assert IN_MEMORY.io_seconds(1000, 1000) < SSD.io_seconds(1000, 1000)
+
+    def test_price_fills_io_seconds(self):
+        stats = QueryStats(sequential_pages=100, random_accesses=10)
+        priced = HDD.price(stats)
+        assert priced.io_seconds > 0
+        assert priced is stats
+
+    def test_custom_model(self):
+        model = HardwareModel(name="x", sequential_mb_per_s=1.0, random_access_ms=1000.0)
+        assert model.io_seconds(0, 1) == pytest.approx(1.0)
+
+
+class TestMeasures:
+    def test_average_pruning_ratio(self):
+        stats = [
+            QueryStats(series_examined=10, dataset_size=100),
+            QueryStats(series_examined=50, dataset_size=100),
+        ]
+        assert average_pruning_ratio(stats) == pytest.approx(0.7)
+        assert average_pruning_ratio([]) == 0.0
+
+    def test_footprint_report(self):
+        stats = IndexStats(
+            method="dstree",
+            total_nodes=10,
+            leaf_nodes=6,
+            memory_bytes=2048,
+            disk_bytes=4096,
+            leaf_fill_factors=[0.5, 0.7],
+            leaf_depths=[2, 3],
+        )
+        report = footprint_report(stats)
+        row = report.as_row()
+        assert row["method"] == "dstree"
+        assert row["nodes"] == 10
+        assert report.leaf_depth_max == 3
+
+    @pytest.mark.parametrize("method_name", ["isax2+", "dstree", "sfa-trie", "va+file", "ads+"])
+    def test_tlb_between_zero_and_one(self, tiny_experiment_inputs, method_name):
+        dataset, workload = tiny_experiment_inputs
+        store = SeriesStore(dataset)
+        params = {"leaf_capacity": 25} if method_name in ("isax2+", "dstree", "ads+") else {}
+        method = create_method(method_name, store, **params)
+        method.build()
+        tlb = tlb_for_method(method, workload, max_leaves=10)
+        assert 0.0 <= tlb <= 1.0 + 1e-6
+
+
+class TestRunner:
+    def test_run_experiment_collects_everything(self, tiny_experiment_inputs):
+        dataset, workload = tiny_experiment_inputs
+        result = run_experiment(
+            dataset, workload, "dstree", platform=HDD, method_params={"leaf_capacity": 25}
+        )
+        assert result.method == "dstree"
+        assert len(result.query_stats) == len(workload)
+        assert result.build_seconds >= 0
+        assert result.query_seconds > 0
+        assert 0.0 <= result.pruning_ratio <= 1.0
+        row = result.as_row()
+        assert row["dataset"] == dataset.name
+
+    def test_answers_are_exact(self, tiny_experiment_inputs):
+        dataset, workload = tiny_experiment_inputs
+        result = run_experiment(
+            dataset, workload, "va+file", platform=SSD, method_params={"coefficients": 8}
+        )
+        scan = run_experiment(dataset, workload, "ucr-suite", platform=SSD)
+        for a, b in zip(result.answers, scan.answers):
+            assert a[0].distance == pytest.approx(b[0].distance, abs=1e-4)
+
+    def test_extrapolated_total(self, tiny_experiment_inputs):
+        dataset, workload = tiny_experiment_inputs
+        result = run_experiment(
+            dataset, workload, "ucr-suite", platform=HDD
+        )
+        total_100 = result.build_seconds + result.query_seconds
+        total_10k = result.extrapolated_total_seconds(10_000)
+        assert total_10k > total_100
+
+    def test_run_comparison(self, tiny_experiment_inputs):
+        dataset, workload = tiny_experiment_inputs
+        results = run_comparison(
+            dataset,
+            workload,
+            methods={"ucr-suite": {}, "dstree": {"leaf_capacity": 25}},
+            platform=HDD,
+        )
+        assert set(results) == {"ucr-suite", "dstree"}
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_experiment_inputs):
+        dataset, workload = tiny_experiment_inputs
+        return run_comparison(
+            dataset,
+            workload,
+            methods={
+                "ucr-suite": {},
+                "dstree": {"leaf_capacity": 25},
+                "va+file": {"coefficients": 8},
+            },
+            platform=HDD,
+        )
+
+    def test_scenario_values_positive(self, comparison):
+        result = comparison["dstree"]
+        for scenario in ("Idx", "Exact100", "Idx+Exact100", "Idx+Exact10K"):
+            assert scenario_seconds(result, scenario) >= 0
+
+    def test_idx_plus_queries_dominates_idx(self, comparison):
+        result = comparison["dstree"]
+        assert scenario_seconds(result, "Idx+Exact100") >= scenario_seconds(result, "Idx")
+
+    def test_easy_hard_requires_subset(self, comparison):
+        with pytest.raises(ValueError):
+            scenario_seconds(comparison["dstree"], "Easy-20")
+
+    def test_unknown_scenario(self, comparison):
+        with pytest.raises(ValueError):
+            scenario_seconds(comparison["dstree"], "Exact1M")
+
+    def test_easy_hard_indices(self, comparison):
+        subsets = easy_hard_indices(comparison, easiest=3, hardest=3)
+        assert len(subsets["easy"]) == 3
+        assert len(subsets["hard"]) == 3
+        assert not (set(subsets["easy"]) & set(subsets["hard"])) or len(
+            comparison["dstree"].query_stats
+        ) < 6
+
+    def test_best_method_per_scenario(self, comparison):
+        winners = best_method_per_scenario(comparison)
+        assert set(winners) == set(SCENARIOS)
+        for winner in winners.values():
+            assert winner in comparison
+
+    def test_ucr_never_wins_indexing(self, comparison):
+        # A sequential scan has (near) zero build cost, so it wins "Idx";
+        # conversely an index should win the large-workload scenario.
+        winners = best_method_per_scenario(comparison)
+        assert winners["Idx"] in ("ucr-suite", "va+file", "ads+")
+
+
+class TestReporting:
+    def test_render_table(self):
+        rows = [{"method": "dstree", "time": 1.234}, {"method": "ucr-suite", "time": 5.6}]
+        text = render_table(rows, title="Results")
+        assert "Results" in text
+        assert "dstree" in text
+        assert "ucr-suite" in text
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="Empty")
+
+    def test_render_series(self):
+        series = {"dstree": [(25, 1.0), (50, 2.0)], "ucr-suite": [(25, 3.0)]}
+        text = render_series(series, title="Scalability", x_label="GB")
+        assert "GB" in text
+        assert "dstree" in text
+
+    def test_format_seconds(self):
+        assert format_seconds(0.5e-4).endswith("us")
+        assert format_seconds(0.5).endswith("ms")
+        assert format_seconds(5).endswith("s")
+        assert format_seconds(600).endswith("min")
+        assert format_seconds(10_000).endswith("h")

@@ -1,0 +1,139 @@
+"""Tests for the DSTree and SFA trie indexes."""
+
+import numpy as np
+import pytest
+
+from repro import SeriesStore
+from repro.core.queries import KnnQuery
+from repro.indexes.dstree import DsTreeIndex
+from repro.indexes.sfa_trie import SfaTrieIndex
+
+from .conftest import brute_force_knn
+
+
+class TestDsTree:
+    @pytest.fixture()
+    def index(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        idx = DsTreeIndex(store, initial_segments=4, leaf_capacity=25)
+        idx.build()
+        return idx
+
+    def test_rejects_bad_leaf_capacity(self, small_dataset):
+        with pytest.raises(ValueError):
+            DsTreeIndex(SeriesStore(small_dataset), leaf_capacity=0)
+
+    def test_every_series_stored_exactly_once(self, index, small_dataset):
+        positions = []
+        for leaf in index.root.leaves():
+            positions.extend(leaf.positions)
+        assert sorted(positions) == list(range(small_dataset.count))
+
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = index.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_exact_knn10(self, index, small_dataset, small_queries):
+        query = small_queries[2]
+        _, truth_dist = brute_force_knn(small_dataset, query.series, k=10)
+        result = index.knn_exact(KnnQuery(series=query.series, k=10))
+        assert np.allclose(result.distances(), truth_dist, atol=1e-4)
+
+    def test_internal_nodes_have_two_children(self, index):
+        for node in index.root.iter_nodes():
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                assert node.policy is not None
+
+    def test_vertical_splits_refine_segmentation(self, index):
+        # At least some node in a reasonably deep tree refines its boundaries,
+        # or every split was horizontal - either way the boundaries stay valid.
+        for node in index.root.iter_nodes():
+            boundaries = node.boundaries
+            assert boundaries[0] == 0
+            assert boundaries[-1] == index.store.length
+            assert np.all(np.diff(boundaries) > 0)
+
+    def test_query_self_finds_itself(self, index, small_dataset):
+        result = index.knn_exact(KnnQuery(series=small_dataset[11]))
+        assert result.nearest.position == 11
+
+    def test_approximate_visits_single_leaf(self, index, small_queries):
+        result = index.knn_approximate(small_queries[0])
+        assert result.stats.leaves_visited == 1
+
+    def test_pruning_reported(self, index, small_queries):
+        result = index.knn_exact(small_queries[0])
+        assert 0.0 <= result.stats.pruning_ratio < 1.0
+
+    def test_footprint_and_fill_factor(self, index):
+        stats = index.index_stats
+        assert stats.leaf_nodes > 1
+        assert 0.0 < stats.median_fill_factor <= 1.0
+        assert stats.max_leaf_depth >= 1
+
+
+class TestSfaTrie:
+    @pytest.fixture()
+    def index(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        idx = SfaTrieIndex(
+            store, coefficients=8, alphabet_size=8, leaf_capacity=50, sample_size=200
+        )
+        idx.build()
+        return idx
+
+    def test_rejects_bad_leaf_capacity(self, small_dataset):
+        with pytest.raises(ValueError):
+            SfaTrieIndex(SeriesStore(small_dataset), leaf_capacity=0)
+
+    def test_every_series_stored_exactly_once(self, index, small_dataset):
+        positions = []
+        for child in index.root.children.values():
+            for leaf in child.leaves():
+                positions.extend(leaf.positions)
+        assert sorted(positions) == list(range(small_dataset.count))
+
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = index.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_split_extends_word_depth(self, index):
+        depths = [leaf.depth for child in index.root.children.values() for leaf in child.leaves()]
+        assert max(depths) >= 1
+        assert max(depths) <= index.coefficients
+
+    def test_exact_with_equi_width_binning(self, small_dataset, small_queries):
+        store = SeriesStore(small_dataset)
+        idx = SfaTrieIndex(store, coefficients=8, binning="equi-width", leaf_capacity=50)
+        idx.build()
+        _, truth_dist = brute_force_knn(small_dataset, small_queries[0].series, k=1)
+        result = idx.knn_exact(small_queries[0])
+        assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_approximate_search(self, index, small_queries):
+        result = index.knn_approximate(small_queries[0])
+        assert result.neighbors
+        assert result.stats.leaves_visited == 1
+
+    def test_query_self_finds_itself(self, index, small_dataset):
+        result = index.knn_exact(KnnQuery(series=small_dataset[5]))
+        assert result.nearest.position == 5
+
+    def test_large_leaf_capacity_reduces_nodes(self, small_dataset):
+        small_leaves = SfaTrieIndex(SeriesStore(small_dataset), leaf_capacity=20)
+        small_leaves.build()
+        big_leaves = SfaTrieIndex(SeriesStore(small_dataset), leaf_capacity=1000)
+        big_leaves.build()
+        assert (
+            big_leaves.index_stats.total_nodes <= small_leaves.index_stats.total_nodes
+        )
+
+    def test_describe(self, index):
+        info = index.describe()
+        assert info["alphabet_size"] == 8
+        assert info["binning"] == "equi-depth"

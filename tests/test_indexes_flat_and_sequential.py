@@ -1,0 +1,169 @@
+"""Tests for VA+file, Stepwise, UCR Suite and MASS."""
+
+import numpy as np
+import pytest
+
+from repro import SeriesStore
+from repro.core.queries import KnnQuery
+from repro.indexes.stepwise import StepwiseIndex
+from repro.indexes.vafile import VaPlusFileIndex
+from repro.sequential.mass import MassScan
+from repro.sequential.ucr_suite import UcrSuiteScan
+
+from .conftest import brute_force_knn
+
+
+class TestVaPlusFile:
+    @pytest.fixture()
+    def index(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        idx = VaPlusFileIndex(store, coefficients=8, bits_per_dimension=3, sample_size=200)
+        idx.build()
+        return idx
+
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = index.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_exact_knn5(self, index, small_dataset, small_queries):
+        query = small_queries[0]
+        _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
+        result = index.knn_exact(KnnQuery(series=query.series, k=5))
+        assert np.allclose(result.distances(), truth_dist, atol=1e-4)
+
+    def test_pruning_with_refinement_order(self, index, small_dataset):
+        result = index.knn_exact(KnnQuery(series=small_dataset[0]))
+        assert result.nearest.position == 0
+        # Self-queries stop refinement quickly: pruning must be substantial.
+        assert result.stats.pruning_ratio > 0.5
+
+    def test_lower_bounds_computed_for_every_series(self, index, small_queries):
+        result = index.knn_exact(small_queries[0])
+        assert result.stats.lower_bounds_computed >= index.store.count
+
+    def test_approximate_search(self, index, small_queries):
+        result = index.knn_approximate(small_queries[0])
+        assert result.neighbors
+
+    def test_footprint_is_approximation_file_only(self, index):
+        stats = index.index_stats
+        assert stats.total_nodes == 0
+        assert stats.disk_bytes > 0
+        assert stats.disk_bytes < index.store.count * index.store.series_bytes
+
+
+class TestStepwise:
+    @pytest.fixture()
+    def index(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        idx = StepwiseIndex(store)
+        idx.build()
+        return idx
+
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = index.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_exact_knn5(self, index, small_dataset, small_queries):
+        query = small_queries[2]
+        _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
+        result = index.knn_exact(KnnQuery(series=query.series, k=5))
+        assert np.allclose(result.distances(), truth_dist, atol=1e-4)
+
+    def test_level_filtering_prunes(self, index, small_dataset):
+        result = index.knn_exact(KnnQuery(series=small_dataset[4]))
+        assert result.nearest.position == 4
+        assert result.stats.pruning_ratio > 0.5
+
+    def test_no_approximate_support(self, index, small_queries):
+        with pytest.raises(NotImplementedError):
+            index.knn_approximate(small_queries[0])
+
+    def test_multi_level_step(self, small_dataset, small_queries):
+        store = SeriesStore(small_dataset)
+        idx = StepwiseIndex(store, levels_per_step=2)
+        idx.build()
+        _, truth_dist = brute_force_knn(small_dataset, small_queries[0].series, k=1)
+        result = idx.knn_exact(small_queries[0])
+        assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_rejects_bad_levels(self, small_dataset):
+        with pytest.raises(ValueError):
+            StepwiseIndex(SeriesStore(small_dataset), levels_per_step=0)
+
+
+class TestUcrSuite:
+    @pytest.fixture()
+    def scan(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        method = UcrSuiteScan(store)
+        method.build()
+        return method
+
+    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = scan.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_zero_pruning(self, scan, small_queries):
+        result = scan.knn_exact(small_queries[0])
+        assert result.stats.pruning_ratio == pytest.approx(0.0)
+
+    def test_sequential_access_pattern(self, scan, small_queries):
+        result = scan.knn_exact(small_queries[0])
+        assert result.stats.random_accesses == 1  # one positioning seek
+        assert result.stats.sequential_pages == scan.store.total_pages
+
+    def test_without_early_abandoning(self, small_dataset, small_queries):
+        store = SeriesStore(small_dataset)
+        scan = UcrSuiteScan(store, use_early_abandoning=False)
+        scan.build()
+        _, truth_dist = brute_force_knn(small_dataset, small_queries[0].series, k=1)
+        result = scan.knn_exact(small_queries[0])
+        assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_knn10(self, scan, small_dataset, small_queries):
+        query = small_queries[3]
+        _, truth_dist = brute_force_knn(small_dataset, query.series, k=10)
+        result = scan.knn_exact(KnnQuery(series=query.series, k=10))
+        assert np.allclose(result.distances(), truth_dist, atol=1e-4)
+
+    def test_is_not_an_index(self, scan):
+        assert not scan.is_index
+        with pytest.raises(NotImplementedError):
+            scan.knn_approximate(KnnQuery(series=np.zeros(scan.store.length)))
+
+
+class TestMass:
+    @pytest.fixture()
+    def scan(self, small_dataset):
+        store = SeriesStore(small_dataset)
+        method = MassScan(store, block_size=64)
+        method.build()
+        return method
+
+    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries):
+        for query in small_queries:
+            _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
+            result = scan.knn_exact(query)
+            assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
+
+    def test_knn5(self, scan, small_dataset, small_queries):
+        query = small_queries[1]
+        _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
+        result = scan.knn_exact(KnnQuery(series=query.series, k=5))
+        assert np.allclose(result.distances(), truth_dist, atol=1e-4)
+
+    def test_self_query(self, scan, small_dataset):
+        result = scan.knn_exact(KnnQuery(series=small_dataset[17]))
+        assert result.nearest.position == 17
+        assert result.nearest.distance == pytest.approx(0.0, abs=1e-3)
+
+    def test_zero_pruning(self, scan, small_queries):
+        result = scan.knn_exact(small_queries[0])
+        assert result.stats.pruning_ratio == pytest.approx(0.0)

@@ -1,0 +1,139 @@
+"""Cross-method integration tests: every method returns exact answers.
+
+This is the library-level statement of the paper's core premise: all ten
+methods are *exact* — they may differ wildly in cost, but never in the answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, SeriesStore, create_method
+from repro.core.queries import KnnQuery
+from repro.workloads import random_walk_dataset, synth_rand_workload
+
+from .conftest import brute_force_knn
+
+METHOD_PARAMS = {
+    "ads+": {"leaf_capacity": 25},
+    "dstree": {"leaf_capacity": 25},
+    "isax2+": {"leaf_capacity": 25},
+    "m-tree": {"node_capacity": 8},
+    "r*-tree": {"leaf_capacity": 20, "segments": 8},
+    "sfa-trie": {"leaf_capacity": 50, "coefficients": 8},
+    "va+file": {"coefficients": 8, "bits_per_dimension": 3},
+    "stepwise": {},
+    "ucr-suite": {},
+    "mass": {},
+}
+
+
+@pytest.fixture(scope="module")
+def built_methods(small_dataset):
+    methods = {}
+    for name, params in METHOD_PARAMS.items():
+        store = SeriesStore(small_dataset)
+        method = create_method(name, store, **params)
+        method.build()
+        methods[name] = method
+    return methods
+
+
+@pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
+def test_exact_1nn_matches_brute_force(
+    method_name, built_methods, small_dataset, small_queries
+):
+    method = built_methods[method_name]
+    for query in small_queries:
+        _, truth = brute_force_knn(small_dataset, query.series, k=1)
+        result = method.knn_exact(query)
+        assert result.nearest.distance == pytest.approx(truth[0], abs=1e-4), method_name
+
+
+@pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
+@pytest.mark.parametrize("k", [3, 7])
+def test_exact_knn_matches_brute_force(
+    method_name, k, built_methods, small_dataset, small_queries
+):
+    method = built_methods[method_name]
+    query = small_queries[0]
+    _, truth = brute_force_knn(small_dataset, query.series, k=k)
+    result = method.knn_exact(KnnQuery(series=query.series, k=k))
+    assert np.allclose(sorted(result.distances()), truth, atol=1e-4), method_name
+
+
+@pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
+def test_all_methods_agree_on_nearest_distance(
+    method_name, built_methods, small_dataset
+):
+    """Every method agrees with every other on the 1-NN distance of a fixed query."""
+    rng = np.random.default_rng(1234)
+    query = KnnQuery(series=(rng.standard_normal(small_dataset.length)))
+    reference = built_methods["ucr-suite"].knn_exact(query).nearest.distance
+    result = built_methods[method_name].knn_exact(query)
+    assert result.nearest.distance == pytest.approx(reference, abs=1e-4)
+
+
+@pytest.mark.parametrize(
+    "method_name", ["ads+", "dstree", "isax2+", "sfa-trie", "va+file", "m-tree", "r*-tree"]
+)
+def test_approximate_answer_is_a_true_distance(
+    method_name, built_methods, small_dataset, small_queries
+):
+    """ng-approximate answers have no guarantee, but must be real distances to real series."""
+    method = built_methods[method_name]
+    query = small_queries[0]
+    result = method.knn_approximate(query)
+    assert result.neighbors
+    neighbor = result.nearest
+    diff = small_dataset.values[neighbor.position].astype(np.float64) - np.asarray(
+        query.series, dtype=np.float64
+    )
+    assert neighbor.distance == pytest.approx(float(np.sqrt(np.dot(diff, diff))), abs=1e-4)
+    # And the approximate distance can never beat the exact one.
+    exact = method.knn_exact(query).nearest.distance
+    assert neighbor.distance >= exact - 1e-6
+
+
+@given(st.integers(0, 100_000), st.sampled_from(["dstree", "isax2+", "va+file", "ads+"]))
+@settings(max_examples=10, deadline=None)
+def test_property_random_datasets_stay_exact(seed, method_name):
+    """Exactness holds across randomly generated datasets and queries."""
+    dataset = random_walk_dataset(120, 32, seed=seed)
+    workload = synth_rand_workload(32, count=2, seed=seed + 1)
+    store = SeriesStore(dataset)
+    method = create_method(method_name, store, **METHOD_PARAMS[method_name])
+    method.build()
+    for query in workload:
+        _, truth = brute_force_knn(dataset, query.series, k=1)
+        result = method.knn_exact(query)
+        assert result.nearest.distance == pytest.approx(truth[0], abs=1e-4)
+
+
+def test_duplicate_series_dataset():
+    """Datasets with exact duplicates must not break any index."""
+    base = random_walk_dataset(50, 32, seed=5).values
+    values = np.vstack([base, base])  # every series appears twice
+    dataset = Dataset(values=values, name="duplicates")
+    query = KnnQuery(series=base[7], k=2)
+    for name in ("dstree", "isax2+", "va+file", "sfa-trie"):
+        store = SeriesStore(dataset)
+        method = create_method(name, store, **METHOD_PARAMS[name])
+        method.build()
+        result = method.knn_exact(query)
+        assert result.distances()[0] == pytest.approx(0.0, abs=1e-5)
+        assert result.distances()[1] == pytest.approx(0.0, abs=1e-5)
+
+
+def test_constant_series_dataset():
+    """All-identical datasets are a degenerate but legal input."""
+    values = np.zeros((64, 16), dtype=np.float32)
+    dataset = Dataset(values=values, name="constant")
+    query = KnnQuery(series=np.zeros(16))
+    for name in ("dstree", "isax2+", "ucr-suite", "va+file"):
+        store = SeriesStore(dataset)
+        method = create_method(name, store, **METHOD_PARAMS[name])
+        method.build()
+        result = method.knn_exact(query)
+        assert result.nearest.distance == pytest.approx(0.0, abs=1e-6)

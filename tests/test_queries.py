@@ -1,0 +1,80 @@
+"""Tests for query objects and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import KnnQuery, MatchingAccuracy, QueryWorkload, RangeQuery
+
+
+class TestKnnQuery:
+    def test_basic(self):
+        query = KnnQuery(series=np.arange(8.0), k=3, label="easy")
+        assert query.length == 8
+        assert query.k == 3
+        assert query.label == "easy"
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KnnQuery(series=np.arange(8.0), k=0)
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(ValueError):
+            KnnQuery(series=np.zeros((2, 8)))
+
+
+class TestRangeQuery:
+    def test_basic(self):
+        query = RangeQuery(series=np.arange(8.0), radius=1.5)
+        assert query.length == 8
+        assert query.radius == 1.5
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            RangeQuery(series=np.arange(8.0), radius=-1.0)
+
+
+class TestQueryWorkload:
+    def test_from_array(self):
+        arr = np.random.default_rng(0).standard_normal((10, 16))
+        workload = QueryWorkload.from_array(arr, name="w", k=2)
+        assert len(workload) == 10
+        assert workload.length == 16
+        assert workload[0].k == 2
+        assert workload.name == "w"
+
+    def test_iteration(self):
+        arr = np.zeros((3, 4))
+        workload = QueryWorkload.from_array(arr)
+        assert sum(1 for _ in workload) == 3
+
+    def test_labels(self):
+        arr = np.zeros((2, 4))
+        workload = QueryWorkload.from_array(arr, labels=["easy", "hard"])
+        assert workload[1].label == "hard"
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryWorkload.from_array(np.zeros((2, 4)), labels=["only-one"])
+
+    def test_mixed_lengths_rejected(self):
+        queries = [KnnQuery(series=np.zeros(4)), KnnQuery(series=np.zeros(8))]
+        with pytest.raises(ValueError):
+            QueryWorkload(name="bad", queries=queries)
+
+    def test_empty_workload_length_raises(self):
+        workload = QueryWorkload(name="empty")
+        with pytest.raises(ValueError):
+            _ = workload.length
+
+    def test_normalize_option(self):
+        arr = np.random.default_rng(1).standard_normal((4, 16)) * 5 + 3
+        workload = QueryWorkload.from_array(arr, normalize=True)
+        for query in workload:
+            assert abs(float(np.mean(query.series))) < 1e-3
+
+
+class TestMatchingAccuracy:
+    def test_enum_values(self):
+        assert MatchingAccuracy.EXACT.value == "exact"
+        assert MatchingAccuracy.NG_APPROXIMATE.value == "ng-approximate"
+        assert MatchingAccuracy("epsilon-approximate") is MatchingAccuracy.EPSILON_APPROXIMATE

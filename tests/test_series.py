@@ -1,0 +1,122 @@
+"""Tests for repro.core.series (Dataset container and z-normalization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.series import SERIES_DTYPE, Dataset, is_znormalized, znormalize
+
+
+class TestZnormalize:
+    def test_single_series_mean_and_std(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        normalized = znormalize(series)
+        assert abs(normalized.mean()) < 1e-5
+        assert abs(normalized.std() - 1.0) < 1e-5
+
+    def test_batch_normalization(self):
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((10, 32)) * 5 + 3
+        normalized = znormalize(batch)
+        assert normalized.shape == batch.shape
+        assert np.allclose(normalized.mean(axis=1), 0.0, atol=1e-5)
+        assert np.allclose(normalized.std(axis=1), 1.0, atol=1e-4)
+
+    def test_constant_series_becomes_zero(self):
+        series = np.full(16, 7.0)
+        normalized = znormalize(series)
+        assert np.all(normalized == 0.0)
+
+    def test_constant_rows_in_batch(self):
+        batch = np.vstack([np.full(8, 3.0), np.arange(8, dtype=float)])
+        normalized = znormalize(batch)
+        assert np.all(normalized[0] == 0.0)
+        assert abs(normalized[1].std() - 1.0) < 1e-4
+
+    def test_output_dtype_is_single_precision(self):
+        assert znormalize(np.arange(10.0)).dtype == SERIES_DTYPE
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            znormalize(np.zeros((2, 3, 4)))
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=4, max_value=64),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_normalized_output(self, series):
+        normalized = znormalize(series)
+        # Either the series was (near) constant and maps to zeros, or the
+        # output has mean ~0 and std ~1.
+        if np.all(normalized == 0.0):
+            assert np.std(series) < 1e-6 or np.allclose(series, series[0], atol=1e-6)
+        else:
+            assert abs(float(normalized.mean())) < 1e-3
+            assert abs(float(normalized.std()) - 1.0) < 1e-2
+
+
+class TestIsZnormalized:
+    def test_detects_normalized(self):
+        rng = np.random.default_rng(1)
+        batch = znormalize(rng.standard_normal((5, 64)))
+        assert is_znormalized(batch)
+
+    def test_detects_unnormalized(self):
+        batch = np.random.default_rng(2).standard_normal((5, 64)) * 10 + 4
+        assert not is_znormalized(batch)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        values = np.zeros((10, 16), dtype=np.float32)
+        values[:, 0] = np.arange(10)
+        ds = Dataset(values=values, name="test")
+        assert ds.count == 10
+        assert ds.length == 16
+        assert len(ds) == 10
+        assert ds.nbytes == 10 * 16 * 4
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            Dataset(values=np.zeros(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Dataset(values=np.zeros((0, 5)))
+
+    def test_from_array_normalizes(self):
+        rng = np.random.default_rng(3)
+        raw = rng.standard_normal((20, 32)) * 4 + 2
+        ds = Dataset.from_array(raw, normalize=True)
+        assert ds.normalized
+        assert np.allclose(ds.values.mean(axis=1), 0.0, atol=1e-4)
+
+    def test_getitem_and_iteration(self):
+        values = np.arange(40, dtype=np.float32).reshape(8, 5)
+        ds = Dataset(values=values)
+        assert np.array_equal(ds[3], values[3])
+        assert sum(1 for _ in ds.iter_series()) == 8
+
+    def test_sample_without_replacement(self):
+        values = np.arange(100, dtype=np.float32).reshape(20, 5)
+        ds = Dataset(values=values)
+        sample = ds.sample(20, rng=np.random.default_rng(0))
+        assert sample.shape == (20, 5)
+        # sampling all rows without replacement covers every series
+        assert len({tuple(row) for row in sample}) == 20
+
+    def test_sample_too_many_raises(self):
+        ds = Dataset(values=np.zeros((5, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            ds.sample(6)
+
+    def test_paper_equivalent_gb(self):
+        ds = Dataset(values=np.zeros((1024, 256), dtype=np.float32))
+        expected = 1024 * 256 * 4 / 1024**3
+        assert ds.paper_equivalent_gb == pytest.approx(expected)

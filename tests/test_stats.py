@@ -1,0 +1,82 @@
+"""Tests for the accounting dataclasses."""
+
+import pytest
+
+from repro.core.stats import AccessCounter, IndexStats, QueryStats, aggregate_query_stats
+
+
+class TestAccessCounter:
+    def test_snapshot_diff_merge(self):
+        counter = AccessCounter()
+        counter.random_accesses = 3
+        counter.sequential_pages = 10
+        snap = counter.snapshot()
+        counter.random_accesses = 8
+        counter.sequential_pages = 12
+        delta = counter.diff(snap)
+        assert delta.random_accesses == 5
+        assert delta.sequential_pages == 2
+        other = AccessCounter(random_accesses=1)
+        delta.merge(other)
+        assert delta.random_accesses == 6
+
+    def test_reset(self):
+        counter = AccessCounter(sequential_pages=4, random_accesses=2, series_read=9)
+        counter.reset()
+        assert counter.sequential_pages == 0
+        assert counter.random_accesses == 0
+        assert counter.series_read == 0
+
+
+class TestQueryStats:
+    def test_pruning_ratio(self):
+        stats = QueryStats(series_examined=20, dataset_size=100)
+        assert stats.pruning_ratio == pytest.approx(0.8)
+
+    def test_pruning_ratio_zero_dataset(self):
+        assert QueryStats().pruning_ratio == 0.0
+
+    def test_pruning_ratio_clamped(self):
+        stats = QueryStats(series_examined=200, dataset_size=100)
+        assert stats.pruning_ratio == 0.0
+
+    def test_total_seconds(self):
+        stats = QueryStats(cpu_seconds=1.5, io_seconds=0.5)
+        assert stats.total_seconds == pytest.approx(2.0)
+
+    def test_merge(self):
+        a = QueryStats(series_examined=5, random_accesses=2, cpu_seconds=1.0, dataset_size=50)
+        b = QueryStats(series_examined=3, random_accesses=4, cpu_seconds=0.5, dataset_size=50)
+        a.merge(b)
+        assert a.series_examined == 8
+        assert a.random_accesses == 6
+        assert a.cpu_seconds == pytest.approx(1.5)
+
+    def test_aggregate(self):
+        stats = [
+            QueryStats(series_examined=10, dataset_size=100),
+            QueryStats(series_examined=30, dataset_size=100),
+        ]
+        total = aggregate_query_stats(stats)
+        assert total.series_examined == 40
+        assert total.dataset_size == 100
+
+    def test_aggregate_empty(self):
+        assert aggregate_query_stats([]).series_examined == 0
+
+
+class TestIndexStats:
+    def test_median_fill_factor_odd_even(self):
+        stats = IndexStats(leaf_fill_factors=[0.2, 0.8, 0.5])
+        assert stats.median_fill_factor == pytest.approx(0.5)
+        stats = IndexStats(leaf_fill_factors=[0.2, 0.4, 0.6, 0.8])
+        assert stats.median_fill_factor == pytest.approx(0.5)
+        assert IndexStats().median_fill_factor == 0.0
+
+    def test_max_leaf_depth(self):
+        assert IndexStats(leaf_depths=[1, 5, 3]).max_leaf_depth == 5
+        assert IndexStats().max_leaf_depth == 0
+
+    def test_build_seconds(self):
+        stats = IndexStats(build_cpu_seconds=2.0, build_io_seconds=1.0)
+        assert stats.build_seconds == pytest.approx(3.0)

@@ -1,0 +1,91 @@
+"""Tests for the simulated storage layer and its accounting."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, SeriesStore
+
+
+@pytest.fixture()
+def dataset():
+    values = np.arange(64 * 32, dtype=np.float32).reshape(64, 32)
+    return Dataset(values=values, name="storage-test")
+
+
+class TestGeometry:
+    def test_series_bytes_and_pages(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        assert store.series_bytes == 32 * 4
+        assert store.series_per_page == 1024 // 128
+        assert store.total_pages == 64 // 8
+
+    def test_pages_for_series(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        assert store.pages_for_series(0) == 0
+        assert store.pages_for_series(1) == 1
+        assert store.pages_for_series(8) == 1
+        assert store.pages_for_series(9) == 2
+
+    def test_rejects_bad_page_size(self, dataset):
+        with pytest.raises(ValueError):
+            SeriesStore(dataset, page_bytes=0)
+
+
+class TestAccounting:
+    def test_scan_counts_full_file(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        data = store.scan()
+        assert data.shape == (64, 32)
+        assert store.counter.random_accesses == 1
+        assert store.counter.sequential_pages == store.total_pages
+        assert store.counter.series_read == 64
+
+    def test_read_block_counts_one_seek(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        block = store.read_block([3, 5, 7])
+        assert block.shape == (3, 32)
+        assert store.counter.random_accesses == 1
+        assert store.counter.sequential_pages == 1
+
+    def test_read_block_empty(self, dataset):
+        store = SeriesStore(dataset)
+        block = store.read_block([])
+        assert block.shape == (0, 32)
+        assert store.counter.random_accesses == 0
+
+    def test_read_contiguous(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        block = store.read_contiguous(10, 30)
+        assert block.shape == (20, 32)
+        assert store.counter.random_accesses == 1
+        assert store.counter.sequential_pages == store.pages_for_series(20)
+        assert store.read_contiguous(5, 5).shape == (0, 32)
+
+    def test_read_one(self, dataset):
+        store = SeriesStore(dataset)
+        series = store.read_one(7)
+        assert np.array_equal(series, dataset.values[7])
+        assert store.counter.random_accesses == 1
+        assert store.counter.series_read == 1
+
+    def test_peek_does_not_count(self, dataset):
+        store = SeriesStore(dataset)
+        store.peek([1, 2, 3])
+        assert store.counter.random_accesses == 0
+        assert store.counter.sequential_pages == 0
+
+    def test_snapshot_and_diff(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        store.scan()
+        before = store.snapshot()
+        store.read_block([1, 2])
+        delta = store.since(before)
+        assert delta.random_accesses == 1
+        assert delta.series_read == 2
+
+    def test_reset(self, dataset):
+        store = SeriesStore(dataset)
+        store.scan()
+        store.reset_counters()
+        assert store.counter.random_accesses == 0
+        assert store.counter.bytes_read == 0

@@ -1,0 +1,104 @@
+"""Tests for the subsequence-to-whole-matching conversion."""
+
+import numpy as np
+import pytest
+
+from repro import SeriesStore, create_method
+from repro.core.distance import squared_euclidean_batch
+from repro.core.queries import KnnQuery
+from repro.core.series import znormalize
+from repro.workloads.subsequence import (
+    SubsequenceMapping,
+    sliding_windows,
+    subsequence_collection,
+)
+
+
+class TestSlidingWindows:
+    def test_count_and_content(self):
+        series = np.arange(10.0)
+        windows = sliding_windows(series, window=4)
+        assert windows.shape == (7, 4)
+        assert np.array_equal(windows[0], [0, 1, 2, 3])
+        assert np.array_equal(windows[-1], [6, 7, 8, 9])
+
+    def test_step(self):
+        series = np.arange(10.0)
+        windows = sliding_windows(series, window=4, step=3)
+        assert windows.shape == (3, 4)
+        assert np.array_equal(windows[1], [3, 4, 5, 6])
+
+    def test_window_equals_length(self):
+        series = np.arange(5.0)
+        windows = sliding_windows(series, window=5)
+        assert windows.shape == (1, 5)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3.0), window=4)
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(8.0), window=0)
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((2, 8)), window=4)
+
+
+class TestSubsequenceCollection:
+    def test_mapping_roundtrip(self):
+        rng = np.random.default_rng(0)
+        long_series = [rng.standard_normal(50), rng.standard_normal(80)]
+        dataset, mapping = subsequence_collection(long_series, window=16, normalize=False)
+        assert len(mapping) == dataset.count == (50 - 15) + (80 - 15)
+        # The subsequence at any position matches the original slice.
+        position = 40
+        series_id, offset = mapping.locate(position)
+        expected = long_series[series_id][offset : offset + 16]
+        assert np.allclose(dataset.values[position], expected, atol=1e-6)
+
+    def test_different_length_sources(self):
+        long_series = [np.arange(20.0), np.arange(35.0)]
+        dataset, mapping = subsequence_collection(long_series, window=10, normalize=False)
+        ids = set(mapping.source_ids.tolist())
+        assert ids == {0, 1}
+
+    def test_normalization(self):
+        rng = np.random.default_rng(1)
+        dataset, _ = subsequence_collection([rng.standard_normal(64) * 5 + 2], window=16)
+        assert np.allclose(dataset.values.mean(axis=1), 0.0, atol=1e-3)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            subsequence_collection([], window=8)
+
+    def test_2d_array_input(self):
+        arr = np.random.default_rng(2).standard_normal((3, 40))
+        dataset, mapping = subsequence_collection(arr, window=20, step=5, normalize=False)
+        assert dataset.count == 3 * len(range(0, 21, 5))
+
+    def test_subsequence_search_finds_planted_match(self):
+        """End to end: a query cut from a long series is found at the right offset."""
+        rng = np.random.default_rng(3)
+        long_series = [rng.standard_normal(300).cumsum() for _ in range(4)]
+        window = 32
+        dataset, mapping = subsequence_collection(long_series, window=window)
+
+        method = create_method("dstree", SeriesStore(dataset), leaf_capacity=50)
+        method.build()
+
+        target_series, target_offset = 2, 117
+        query = znormalize(long_series[target_series][target_offset : target_offset + window])
+        result = method.knn_exact(KnnQuery(series=query, k=1))
+        found_series, found_offset = mapping.locate(result.nearest.position)
+        assert (found_series, found_offset) == (target_series, target_offset)
+        assert result.nearest.distance == pytest.approx(0.0, abs=1e-4)
+
+    def test_exactness_matches_brute_force_over_subsequences(self):
+        rng = np.random.default_rng(4)
+        long_series = [rng.standard_normal(200).cumsum() for _ in range(3)]
+        dataset, mapping = subsequence_collection(long_series, window=24)
+        method = create_method("va+file", SeriesStore(dataset), coefficients=8)
+        method.build()
+        query = znormalize(rng.standard_normal(24).cumsum())
+        distances = np.sqrt(squared_euclidean_batch(query, dataset.values))
+        best = int(np.argmin(distances))
+        result = method.knn_exact(KnnQuery(series=query, k=1))
+        assert result.nearest.distance == pytest.approx(float(distances[best]), abs=1e-4)

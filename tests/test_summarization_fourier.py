@@ -1,0 +1,144 @@
+"""Tests for DFT and SFA summarizations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import euclidean
+from repro.summarization.dft import DftSummarizer, dft_coefficients
+from repro.summarization.sfa import SfaSummarizer
+
+
+class TestDft:
+    def test_full_coefficients_preserve_distance(self):
+        """With all coefficients retained, Parseval makes the bound exact."""
+        rng = np.random.default_rng(0)
+        n = 32
+        a, b = rng.standard_normal(n), rng.standard_normal(n)
+        summarizer = DftSummarizer(n, coefficients=n + 2)
+        bound = summarizer.lower_bound(summarizer.transform(a), summarizer.transform(b))
+        assert bound == pytest.approx(euclidean(a, b), rel=1e-6)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        series = np.arange(16.0)
+        coeffs = dft_coefficients(series, 2)
+        assert coeffs[0] == pytest.approx(series.sum() / np.sqrt(16))
+        assert coeffs[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_batch_shape(self):
+        batch = np.random.default_rng(1).standard_normal((5, 64))
+        coeffs = dft_coefficients(batch, 16)
+        assert coeffs.shape == (5, 16)
+
+    def test_lower_bound_batch_matches_scalar(self):
+        summarizer = DftSummarizer(64, 16)
+        rng = np.random.default_rng(2)
+        q = summarizer.transform(rng.standard_normal(64))
+        cands = summarizer.transform_batch(rng.standard_normal((6, 64)))
+        batch = summarizer.lower_bound_batch(q, cands)
+        scalar = [summarizer.lower_bound(q, c) for c in cands]
+        assert np.allclose(batch, scalar)
+
+    @given(
+        hnp.arrays(np.float64, 64, elements=st.floats(-100, 100, allow_nan=False)),
+        hnp.arrays(np.float64, 64, elements=st.floats(-100, 100, allow_nan=False)),
+        st.sampled_from([2, 4, 8, 16, 32]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_lower_bounds_euclidean(self, a, b, coefficients):
+        summarizer = DftSummarizer(64, coefficients)
+        bound = summarizer.lower_bound(summarizer.transform(a), summarizer.transform(b))
+        assert bound <= euclidean(a, b) + 1e-6
+
+    def test_more_coefficients_tighter(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(64), rng.standard_normal(64)
+        bounds = []
+        for coefficients in (2, 4, 8, 16, 32):
+            summarizer = DftSummarizer(64, coefficients)
+            bounds.append(
+                summarizer.lower_bound(summarizer.transform(a), summarizer.transform(b))
+            )
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_mindist_to_rectangle(self):
+        summarizer = DftSummarizer(64, 8)
+        rng = np.random.default_rng(4)
+        data = summarizer.transform_batch(rng.standard_normal((10, 64)))
+        lower, upper = data.min(axis=0), data.max(axis=0)
+        q = summarizer.transform(rng.standard_normal(64))
+        mindist = summarizer.mindist_to_rectangle(q, lower, upper)
+        for row in data:
+            assert mindist <= summarizer.lower_bound(q, row) + 1e-9
+
+
+class TestSfa:
+    @pytest.fixture()
+    def fitted(self):
+        rng = np.random.default_rng(5)
+        sample = rng.standard_normal((256, 64))
+        summarizer = SfaSummarizer(64, coefficients=8, alphabet_size=8)
+        return summarizer.fit(sample), sample
+
+    def test_requires_fit(self):
+        summarizer = SfaSummarizer(64, coefficients=8)
+        with pytest.raises(RuntimeError):
+            summarizer.transform(np.zeros(64))
+
+    def test_symbols_in_range(self, fitted):
+        summarizer, sample = fitted
+        words = summarizer.transform_batch(sample)
+        assert words.min() >= 0
+        assert words.max() < summarizer.alphabet_size
+
+    def test_equi_depth_balanced(self, fitted):
+        summarizer, sample = fitted
+        words = summarizer.transform_batch(sample)
+        # Equi-depth binning spreads the sample roughly uniformly over symbols.
+        counts = np.bincount(words[:, 2], minlength=summarizer.alphabet_size)
+        assert counts.min() > 0
+
+    def test_equi_width_binning(self):
+        rng = np.random.default_rng(6)
+        sample = rng.standard_normal((128, 64))
+        summarizer = SfaSummarizer(64, coefficients=8, binning="equi-width").fit(sample)
+        words = summarizer.transform_batch(sample)
+        assert words.max() < summarizer.alphabet_size
+
+    def test_invalid_binning(self):
+        with pytest.raises(ValueError):
+            SfaSummarizer(64, binning="quantile")
+
+    def test_invalid_alphabet(self):
+        with pytest.raises(ValueError):
+            SfaSummarizer(64, alphabet_size=1)
+
+    def test_cell_bounds_cover_own_coefficient(self, fitted):
+        summarizer, sample = fitted
+        coeffs = summarizer.dft_of(sample[0])
+        word = summarizer.transform(sample[0])
+        for j in range(summarizer.coefficients):
+            low, high = summarizer.cell_bounds(int(word[j]), j)
+            assert low <= coeffs[j] <= high or np.isclose(coeffs[j], high)
+
+    def test_lower_bound_batch_matches_scalar(self, fitted):
+        summarizer, sample = fitted
+        rng = np.random.default_rng(7)
+        query = rng.standard_normal(64)
+        q_dft = summarizer.dft_of(query)
+        words = summarizer.transform_batch(sample[:12])
+        batch = summarizer.lower_bound_batch(q_dft, words)
+        scalar = [summarizer.lower_bound(q_dft, w) for w in words]
+        assert np.allclose(batch, scalar, atol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_lower_bounds_euclidean(self, seed):
+        rng = np.random.default_rng(seed)
+        sample = rng.standard_normal((64, 32))
+        summarizer = SfaSummarizer(32, coefficients=8, alphabet_size=8).fit(sample)
+        a, b = rng.standard_normal(32), rng.standard_normal(32)
+        bound = summarizer.lower_bound(summarizer.dft_of(a), summarizer.transform(b))
+        assert bound <= euclidean(a, b) + 1e-6

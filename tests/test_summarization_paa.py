@@ -1,0 +1,100 @@
+"""Tests for PAA and its lower-bounding distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import euclidean
+from repro.summarization.paa import PaaSummarizer, paa_lower_bound, paa_transform
+
+pair_strategy = st.integers(min_value=1, max_value=5).flatmap(
+    lambda seed: st.just(seed)
+)
+
+
+def random_pair(length: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(length), rng.standard_normal(length)
+
+
+class TestPaaTransform:
+    def test_even_segments_are_means(self):
+        series = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0])
+        paa = paa_transform(series, 4)
+        assert np.allclose(paa, [1.0, 2.0, 3.0, 4.0])
+
+    def test_uneven_lengths_supported(self):
+        series = np.arange(10.0)
+        paa = paa_transform(series, 3)
+        assert paa.shape == (3,)
+
+    def test_batch_shape(self):
+        batch = np.random.default_rng(0).standard_normal((7, 32))
+        paa = paa_transform(batch, 8)
+        assert paa.shape == (7, 8)
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            paa_transform(np.arange(4.0), 0)
+        with pytest.raises(ValueError):
+            paa_transform(np.arange(4.0), 8)
+
+    def test_constant_series(self):
+        paa = paa_transform(np.full(16, 3.5), 4)
+        assert np.allclose(paa, 3.5)
+
+
+class TestPaaSummarizer:
+    def test_transform_matches_function(self):
+        summarizer = PaaSummarizer(32, 8)
+        series = np.random.default_rng(1).standard_normal(32)
+        assert np.allclose(summarizer.transform(series), paa_transform(series, 8))
+
+    def test_length_mismatch_raises(self):
+        summarizer = PaaSummarizer(32, 8)
+        with pytest.raises(ValueError):
+            summarizer.transform(np.zeros(16))
+
+    def test_lower_bound_batch_matches_scalar(self):
+        summarizer = PaaSummarizer(64, 16)
+        rng = np.random.default_rng(2)
+        q = summarizer.transform(rng.standard_normal(64))
+        cands = summarizer.transform_batch(rng.standard_normal((5, 64)))
+        batch = summarizer.lower_bound_batch(q, cands)
+        scalar = [summarizer.lower_bound(q, c) for c in cands]
+        assert np.allclose(batch, scalar)
+
+    @given(
+        hnp.arrays(np.float64, 64, elements=st.floats(-50, 50, allow_nan=False)),
+        hnp.arrays(np.float64, 64, elements=st.floats(-50, 50, allow_nan=False)),
+        st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_lower_bounds_euclidean(self, a, b, segments):
+        """PAA distance never exceeds the true Euclidean distance."""
+        summarizer = PaaSummarizer(64, segments)
+        bound = summarizer.lower_bound(summarizer.transform(a), summarizer.transform(b))
+        assert bound <= euclidean(a, b) + 1e-7
+
+    def test_function_lower_bound_consistent(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(64), rng.standard_normal(64)
+        qa, qb = paa_transform(a, 16), paa_transform(b, 16)
+        assert paa_lower_bound(qa, qb, 64) <= euclidean(a, b) + 1e-9
+
+    def test_mindist_to_rectangle(self):
+        summarizer = PaaSummarizer(32, 8)
+        rng = np.random.default_rng(4)
+        series = rng.standard_normal((10, 32))
+        paa = summarizer.transform_batch(series)
+        lower, upper = paa.min(axis=0), paa.max(axis=0)
+        query = rng.standard_normal(32)
+        q_paa = summarizer.transform(query)
+        mindist = summarizer.mindist_to_rectangle(q_paa, lower, upper)
+        # The rectangle bound never exceeds the bound to any contained point.
+        for row in paa:
+            assert mindist <= summarizer.lower_bound(q_paa, row) + 1e-9
+        # And the point inside its own MBR has distance 0.
+        assert summarizer.mindist_to_rectangle(paa[0], lower, upper) == pytest.approx(0.0)

@@ -1,0 +1,160 @@
+"""Tests for the dataset generators and query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    REAL_DATASET_NAMES,
+    astro_like,
+    controlled_workload,
+    deep1b_like,
+    extrapolate_total,
+    gaussian_noise,
+    label_by_difficulty,
+    noisy_queries,
+    random_walk,
+    random_walk_dataset,
+    real_ctrl_workload,
+    real_like_dataset,
+    sald_like,
+    seismic_like,
+    synth_ctrl_workload,
+    synth_rand_workload,
+)
+
+
+class TestGenerators:
+    def test_random_walk_shape_and_normalization(self):
+        data = random_walk(50, 128, seed=1)
+        assert data.shape == (50, 128)
+        assert np.allclose(data.mean(axis=1), 0.0, atol=1e-3)
+
+    def test_random_walk_reproducible(self):
+        assert np.array_equal(random_walk(10, 32, seed=7), random_walk(10, 32, seed=7))
+
+    def test_random_walk_different_seeds_differ(self):
+        assert not np.array_equal(random_walk(10, 32, seed=1), random_walk(10, 32, seed=2))
+
+    def test_random_walk_unnormalized(self):
+        data = random_walk(5, 64, seed=3, normalize=False)
+        # Unnormalized random walks drift away from zero mean.
+        assert not np.allclose(data.mean(axis=1), 0.0, atol=1e-2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            random_walk(0, 10)
+
+    def test_gaussian_noise(self):
+        data = gaussian_noise(20, 64, seed=5)
+        assert data.shape == (20, 64)
+
+    def test_random_walk_dataset(self):
+        ds = random_walk_dataset(30, 64, seed=9, name="walks")
+        assert ds.count == 30
+        assert ds.name == "walks"
+        assert ds.metadata["seed"] == 9
+
+
+class TestRealLike:
+    @pytest.mark.parametrize("name", REAL_DATASET_NAMES)
+    def test_builders_produce_normalized_datasets(self, name):
+        ds = real_like_dataset(name, count=40, seed=1)
+        assert ds.count == 40
+        assert ds.name == name
+        assert np.allclose(ds.values.mean(axis=1), 0.0, atol=1e-3)
+
+    def test_default_lengths_match_paper(self):
+        assert real_like_dataset("seismic", 10, seed=0).length == 256
+        assert real_like_dataset("astro", 10, seed=0).length == 256
+        assert real_like_dataset("sald", 10, seed=0).length == 128
+        assert real_like_dataset("deep1b", 10, seed=0).length == 96
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            real_like_dataset("imagenet", 10)
+
+    def test_summarizability_ordering(self):
+        """SALD/Astro-like data concentrates energy in few Fourier coefficients;
+        Deep1B-like data does not - the property driving per-dataset pruning."""
+
+        def low_frequency_energy(ds):
+            spectrum = np.abs(np.fft.rfft(ds.values.astype(np.float64), axis=1)) ** 2
+            total = spectrum.sum(axis=1) + 1e-12
+            low = spectrum[:, : max(2, spectrum.shape[1] // 8)].sum(axis=1)
+            return float(np.mean(low / total))
+
+        smooth = low_frequency_energy(sald_like(60, seed=2))
+        hard = low_frequency_energy(deep1b_like(60, seed=2))
+        assert smooth > hard
+
+    def test_direct_builders(self):
+        assert seismic_like(5, seed=1).length == 256
+        assert astro_like(5, seed=1).length == 256
+
+
+class TestNoiseWorkloads:
+    def test_noisy_queries_progressive_difficulty(self):
+        ds = random_walk_dataset(100, 64, seed=4)
+        queries, levels = noisy_queries(ds, 10, seed=5)
+        assert queries.shape == (10, 64)
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_noisy_queries_custom_levels(self):
+        ds = random_walk_dataset(50, 32, seed=6)
+        queries, levels = noisy_queries(ds, 3, noise_levels=[0.0, 1.0, 5.0], seed=7)
+        assert list(levels) == [0.0, 1.0, 5.0]
+
+    def test_noise_level_mismatch_raises(self):
+        ds = random_walk_dataset(50, 32, seed=6)
+        with pytest.raises(ValueError):
+            noisy_queries(ds, 3, noise_levels=[0.0, 1.0], seed=7)
+
+    def test_controlled_workload_labels(self):
+        ds = random_walk_dataset(100, 64, seed=8)
+        workload = controlled_workload(ds, count=20, seed=9)
+        labels = {q.label for q in workload}
+        assert labels == {"easy", "hard"}
+        assert workload.name == f"{ds.name}-ctrl"
+
+    def test_label_by_difficulty(self):
+        ds = random_walk_dataset(100, 64, seed=10)
+        workload = controlled_workload(ds, count=30, seed=11)
+        ratios = np.linspace(1.0, 0.0, 30)
+        labels = label_by_difficulty(workload, ratios, easiest=5, hardest=5)
+        assert labels["easy"] == list(range(5))
+        assert set(labels["hard"]) == set(range(25, 30))
+
+    def test_label_by_difficulty_shape_mismatch(self):
+        ds = random_walk_dataset(100, 64, seed=10)
+        workload = controlled_workload(ds, count=10, seed=11)
+        with pytest.raises(ValueError):
+            label_by_difficulty(workload, np.zeros(5))
+
+
+class TestWorkloadAssembly:
+    def test_synth_rand(self):
+        workload = synth_rand_workload(64, count=10, seed=1)
+        assert len(workload) == 10
+        assert workload.name == "synth-rand"
+        assert workload.length == 64
+
+    def test_synth_ctrl(self):
+        ds = random_walk_dataset(100, 64, seed=12)
+        workload = synth_ctrl_workload(ds, count=10, seed=13)
+        assert workload.name == "synth-ctrl"
+
+    def test_real_ctrl(self):
+        ds = real_like_dataset("astro", 80, seed=14)
+        workload = real_ctrl_workload(ds, count=10, seed=15)
+        assert workload.name == "astro-ctrl"
+
+    def test_extrapolation_procedure(self):
+        # 100 per-query values of 1s with outliers of 0 and 100: trimming
+        # removes the outliers so the extrapolated mean stays 1s per query.
+        values = [1.0] * 90 + [0.0] * 5 + [100.0] * 5
+        total = extrapolate_total(values, target_queries=10_000, trim=5)
+        assert total == pytest.approx(10_000.0)
+
+    def test_extrapolation_small_input(self):
+        assert extrapolate_total([2.0], target_queries=10) == pytest.approx(20.0)
+        assert extrapolate_total([], target_queries=10) == 0.0
