@@ -1,0 +1,141 @@
+"""Batch-query throughput: queries/sec of ``knn_exact_batch`` vs per-query search.
+
+The vectorized batch execution layer answers a whole query batch with one
+``(Q, N)`` distance-matrix tile pass; this benchmark measures the resulting
+throughput win over driving the same optimized kernels one query at a time.
+The default configuration mirrors the acceptance setting — a seeded
+10k x 128 random-walk dataset and 100 queries — and reports queries/sec for
+both paths plus the speedup, for the flat scan (the pure showcase of the
+batch layer), MASS (shared candidate FFTs), and iSAX2+ (whose exact search
+computes node lower bounds through the batch MINDIST kernel; its batch API is
+the default per-query loop, so its speedup hovers around 1x and serves as the
+control).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke    # CI
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _timed(fn, repeats: int = 1) -> float:
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(
+    count: int,
+    length: int,
+    query_count: int,
+    k: int,
+    methods: dict,
+    repeats: int,
+) -> list[dict]:
+    from repro import SeriesStore, create_method
+    from repro.core.queries import KnnQuery
+    from repro.workloads import random_walk_dataset, synth_rand_workload
+
+    dataset = random_walk_dataset(count, length, seed=2018, name="throughput")
+    queries = np.vstack(
+        [
+            np.asarray(q.series, dtype=np.float64)
+            for q in synth_rand_workload(length, count=query_count, seed=77)
+        ]
+    )
+
+    rows = []
+    for name, params in methods.items():
+        store = SeriesStore(dataset)
+        method = create_method(name, store, **params)
+        method.build()
+
+        def per_query():
+            for q in queries:
+                method.knn_exact(KnnQuery(series=q, k=k))
+
+        def batched():
+            method.knn_exact_batch(queries, k=k)
+
+        # Warm up both paths (BLAS thread pools, breakpoint caches, ...).
+        method.knn_exact(KnnQuery(series=queries[0], k=k))
+        method.knn_exact_batch(queries[:2], k=k)
+
+        single_s = _timed(per_query, repeats)
+        batch_s = _timed(batched, repeats)
+        rows.append(
+            {
+                "method": name,
+                "single_qps": query_count / single_s,
+                "batch_qps": query_count / batch_s,
+                "speedup": single_s / batch_s,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized run")
+    parser.add_argument("--count", type=int, default=10_000, help="series in the dataset")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=100, help="queries per batch")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per query")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless the flat-scan batch speedup reaches this",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.count, args.length, args.queries, args.repeats = 2_000, 64, 20, 1
+
+    methods = {
+        "flat": {},
+        "mass": {},
+        "isax2+": {"leaf_capacity": 100},
+    }
+    rows = run(args.count, args.length, args.queries, args.k, methods, args.repeats)
+
+    print(
+        f"\nbatch throughput — {args.count} x {args.length} series, "
+        f"{args.queries} queries, k={args.k}"
+    )
+    print(f"{'method':<10} {'single q/s':>12} {'batch q/s':>12} {'speedup':>9}")
+    for row in rows:
+        print(
+            f"{row['method']:<10} {row['single_qps']:>12.1f} "
+            f"{row['batch_qps']:>12.1f} {row['speedup']:>8.2f}x"
+        )
+
+    flat_speedup = next(r["speedup"] for r in rows if r["method"] == "flat")
+    if args.min_speedup is not None and flat_speedup < args.min_speedup:
+        print(
+            f"FAIL: flat-scan batch speedup {flat_speedup:.2f}x "
+            f"below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,7 +59,7 @@ from .indexes import (
     StepwiseIndex,
     VaPlusFileIndex,
 )
-from .sequential import MassScan, UcrSuiteScan
+from .sequential import FlatScan, MassScan, UcrSuiteScan
 
 __version__ = "1.0.0"
 
@@ -102,4 +102,5 @@ __all__ = [
     "VaPlusFileIndex",
     "UcrSuiteScan",
     "MassScan",
+    "FlatScan",
 ]

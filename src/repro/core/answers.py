@@ -60,11 +60,62 @@ class KnnAnswerSet:
         return False
 
     def offer_batch(self, positions: np.ndarray, squared_distances: np.ndarray) -> int:
-        """Offer many candidates at once; returns how many entered the top-k."""
+        """Offer many candidates at once; returns how many entered the top-k.
+
+        Runs in O(n + k log k) instead of the O(n log k) per-element loop: the
+        batch is first filtered against the current pruning threshold, then
+        ``np.argpartition`` keeps only the candidates that can possibly enter
+        the heap (at most ``k`` plus the current occupancy, to absorb
+        duplicate-position collisions), and only that handful goes through
+        :meth:`offer`.  The resulting top-k *distances* are identical to
+        offering each candidate individually; among candidates whose distances
+        tie exactly at the k-th value the admitted *positions* may differ from
+        the sequential loop (``argpartition`` breaks such ties arbitrarily),
+        and a position repeated within one batch keeps its smallest distance
+        (the sequential loop kept the first seen; a position has a single true
+        distance, so real call sites never hit this).
+        """
+        pos = np.asarray(positions, dtype=np.int64).ravel()
+        sq = np.asarray(squared_distances, dtype=np.float64).ravel()
+        if pos.size != sq.size:
+            raise ValueError("positions and squared_distances must have equal length")
+        if pos.size == 0:
+            return 0
+        if not np.all(np.isfinite(sq)):
+            # NaN/inf distances follow the legacy one-by-one semantics (they
+            # can still fill an under-occupied heap); keep the slow path here.
+            admitted = 0
+            for p, s in zip(pos, sq):
+                if self.offer(int(p), float(s)):
+                    admitted += 1
+            return admitted
+        sq = np.maximum(sq, 0.0)
         admitted = 0
-        for pos, sq in zip(np.asarray(positions), np.asarray(squared_distances)):
-            if self.offer(int(pos), float(sq)):
-                admitted += 1
+        threshold = self.worst_squared_distance
+        if np.isfinite(threshold):
+            candidates = np.flatnonzero(sq < threshold)
+        else:
+            candidates = np.arange(pos.size)
+        while candidates.size:
+            # Only the (k + occupancy) smallest can enter: at most ``occupancy``
+            # of them may be rejected as duplicates of positions already held.
+            cap = self.k + len(self._positions)
+            if candidates.size > cap:
+                part = np.argpartition(sq[candidates], cap - 1)
+                selected = candidates[part[:cap]]
+                rest = candidates[part[cap:]]
+            else:
+                selected, rest = candidates, candidates[:0]
+            selected = np.sort(selected)
+            selected = selected[np.argsort(sq[selected], kind="stable")]
+            for i in selected:
+                if self.offer(int(pos[i]), float(sq[i])):
+                    admitted += 1
+            if rest.size == 0:
+                break
+            # Duplicate collisions may have left room for candidates beyond the
+            # cap; re-filter the remainder against the updated threshold.
+            candidates = rest[sq[rest] < self.worst_squared_distance]
         return admitted
 
     # -- thresholds -----------------------------------------------------------
@@ -115,6 +166,27 @@ class RangeAnswerSet:
             self.matches.append(Neighbor(distance=distance, position=position))
             return True
         return False
+
+    def offer_batch(self, positions: np.ndarray, squared_distances: np.ndarray) -> int:
+        """Offer many candidates at once; returns how many were within range.
+
+        Vectorized counterpart of :meth:`offer`: the radius test runs on the
+        whole array and only the matches are materialized as :class:`Neighbor`
+        objects, in batch order.
+        """
+        pos = np.asarray(positions, dtype=np.int64).ravel()
+        sq = np.asarray(squared_distances, dtype=np.float64).ravel()
+        if pos.size != sq.size:
+            raise ValueError("positions and squared_distances must have equal length")
+        if pos.size == 0:
+            return 0
+        distances = np.sqrt(np.maximum(sq, 0.0))
+        within = distances <= self.radius
+        self.matches.extend(
+            Neighbor(distance=float(d), position=int(p))
+            for p, d in zip(pos[within], distances[within])
+        )
+        return int(np.count_nonzero(within))
 
     def neighbors(self) -> list[Neighbor]:
         return sorted(self.matches)

@@ -47,27 +47,46 @@ def squared_euclidean_batch(query: np.ndarray, candidates: np.ndarray) -> np.nda
     return np.einsum("ij,ij->i", diff, diff)
 
 
+_BLOCK_BOUNDS_CACHE: dict[int, tuple[tuple[int, int], ...]] = {}
+
+
+def _block_bounds(n: int) -> tuple[tuple[int, int], ...]:
+    """Precomputed (start, stop) block boundaries for early abandoning.
+
+    The block size trades Python-loop overhead against abandoning granularity;
+    the boundaries are cached per series length so the hot loop never
+    recomputes them.
+    """
+    bounds = _BLOCK_BOUNDS_CACHE.get(n)
+    if bounds is None:
+        block = 16 if n >= 64 else max(4, n // 4 or 1)
+        bounds = tuple((start, min(start + block, n)) for start in range(0, n, block))
+        _BLOCK_BOUNDS_CACHE[n] = bounds
+    return bounds
+
+
 def early_abandon_squared(a: np.ndarray, b: np.ndarray, threshold: float) -> float:
     """Squared Euclidean distance with early abandoning.
 
     Accumulates the squared differences in blocks and stops as soon as the
     partial sum exceeds ``threshold`` (the current best-so-far squared
     distance).  Returns either the exact squared distance (if below the
-    threshold) or a value strictly greater than the threshold.
+    threshold) or a value strictly greater than the threshold.  When the
+    threshold is infinite no abandoning is possible, so a single vectorized
+    ``np.dot`` is used instead of the blocked loop.
     """
     av = np.asarray(a, dtype=np.float64)
     bv = np.asarray(b, dtype=np.float64)
-    n = av.shape[0]
-    # Block size trades Python-loop overhead against abandoning granularity.
-    block = 16 if n >= 64 else max(4, n // 4 or 1)
+    if not threshold < np.inf:  # inf or NaN threshold: abandoning cannot trigger
+        diff = av - bv
+        return float(np.dot(diff, diff))
     acc = 0.0
-    for start in range(0, n, block):
-        stop = min(start + block, n)
+    for start, stop in _block_bounds(av.shape[0]):
         diff = av[start:stop] - bv[start:stop]
-        acc += float(np.dot(diff, diff))
+        acc += np.dot(diff, diff)
         if acc > threshold:
-            return acc
-    return acc
+            return float(acc)
+    return float(acc)
 
 
 def reorder_by_query(query: np.ndarray) -> np.ndarray:
@@ -95,20 +114,20 @@ def early_abandon_reordered(
     """
     q = np.asarray(query, dtype=np.float64)
     c = np.asarray(candidate, dtype=np.float64)
+    if not threshold < np.inf:  # no abandoning possible: one vectorized pass
+        diff = q - c
+        return float(np.dot(diff, diff))
     if order is None:
         order = reorder_by_query(q)
     qo = q[order]
     co = c[order]
-    n = qo.shape[0]
-    block = 16 if n >= 64 else max(4, n // 4 or 1)
     acc = 0.0
-    for start in range(0, n, block):
-        stop = min(start + block, n)
+    for start, stop in _block_bounds(qo.shape[0]):
         diff = qo[start:stop] - co[start:stop]
-        acc += float(np.dot(diff, diff))
+        acc += np.dot(diff, diff)
         if acc > threshold:
-            return acc
-    return acc
+            return float(acc)
+    return float(acc)
 
 
 def dynamic_time_warping(

@@ -163,6 +163,38 @@ class SimilaritySearchEngine:
             return self.method.knn_exact(knn)
         return self.method.knn_approximate(knn)
 
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        normalize: bool = False,
+    ) -> list:
+        """Answer many exact k-NN queries in one call.
+
+        Parameters
+        ----------
+        queries:
+            A ``(Q, length)`` array of query series (a single 1-D query is
+            accepted).
+        k:
+            Number of neighbors per query.
+        normalize:
+            Z-normalize every query first.
+
+        Returns one :class:`~repro.indexes.base.SearchResult` per query, in
+        order, with exactly the answers :meth:`search` would return
+        per query.  Methods with a vectorized batch path (the flat and MASS
+        scans) amortize the data pass and the distance kernel over the whole
+        batch; every other method transparently falls back to a per-query
+        loop, so the batch API is uniform across all registered methods.
+        """
+        if self.method is None:
+            raise RuntimeError("build() must be called before search_batch()")
+        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if normalize:
+            qs = np.vstack([znormalize(q) for q in qs])
+        return self.method.knn_exact_batch(qs, k=k)
+
     def range_search(
         self, query: np.ndarray, radius: float, normalize: bool = False
     ):

@@ -55,9 +55,10 @@ def _ensure_builtin_methods() -> None:
         StepwiseIndex,
         VaPlusFileIndex,
     )
-    from ..sequential import MassScan, UcrSuiteScan
+    from ..sequential import FlatScan, MassScan, UcrSuiteScan
 
     register_method("ads+", AdsPlusIndex)
+    register_method("flat", FlatScan)
     register_method("dstree", DsTreeIndex)
     register_method("isax2+", Isax2PlusIndex)
     register_method("m-tree", MTreeIndex)

@@ -56,11 +56,14 @@ class AdsTree:
         word = node.word.promote(segment, float(paa[segment]))
         child = node.children.get(word.symbols)
         if child is None:
-            child = min(
-                node.children.values(),
-                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
-            )
+            child = self._closest_child(node, paa)
         return child
+
+    def _closest_child(self, node: IsaxNode, paa: np.ndarray) -> IsaxNode:
+        """The child with the smallest MINDIST, scored in one batch call."""
+        children, symbols, cardinalities = node.child_arrays()
+        bounds = self.summarizer.mindist_paa_to_words_batch(paa, symbols, cardinalities)
+        return children[int(np.argmin(bounds))]
 
     def _split_leaf(self, node: IsaxNode) -> None:
         paa = np.vstack(node.paa_values)
@@ -98,10 +101,7 @@ class AdsTree:
         if node is None:
             if not self.root.children:
                 return None
-            node = min(
-                self.root.children.values(),
-                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
-            )
+            node = self._closest_child(self.root, paa)
         while not node.is_leaf:
             node = self._route(node, paa)
         return node

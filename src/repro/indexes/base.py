@@ -138,6 +138,95 @@ class SearchMethod(abc.ABC):
             stats.answer_distance = neighbors[0].distance
         return SearchResult(neighbors, stats)
 
+    def knn_exact_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
+        """Answer many exact k-NN queries in one call.
+
+        ``queries`` is a ``(Q, length)`` array (a single 1-D query is
+        accepted).  Returns one :class:`SearchResult` per query, in order,
+        with exactly the answers :meth:`knn_exact` would return.
+
+        The base implementation simply loops :meth:`knn_exact`, so every
+        method supports the batch API out of the box; scan-based methods
+        override this with a true vectorized implementation that amortizes the
+        data pass and the distance kernel over the whole query batch (one
+        ``(Q, N)`` distance-matrix tile pass instead of ``Q`` separate scans).
+        """
+        self._require_built()
+        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.knn_exact(KnnQuery(series=q, k=k)) for q in qs]
+
+    def _tiled_batch_scan(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tile: int,
+        norms: np.ndarray | None,
+        dots_for,
+    ) -> list[SearchResult]:
+        """Shared driver for vectorized batch scans over the raw data.
+
+        One sequential pass in tiles of ``tile`` series; ``dots_for(block)``
+        returns the ``(Q, tile)`` dot products of every query against the
+        (float64) tile, and squared distances follow from the norm-expansion
+        identity ``||q - c||^2 = ||q||^2 + ||c||^2 - 2 <q, c>``.  ``norms``
+        are the precomputed candidate squared norms (computed on the fly when
+        the method was built without them).  Accounting is amortized over the
+        batch via :meth:`_package_batch_results`.
+        """
+        before = self.store.snapshot()
+        start_time = time.perf_counter()
+
+        data = self.store.scan()
+        if norms is None:
+            d = data.astype(np.float64)
+            norms = np.einsum("ij,ij->i", d, d)
+        q_norms = np.einsum("ij,ij->i", queries, queries)
+        answer_sets = [KnnAnswerSet(k) for _ in range(queries.shape[0])]
+        for start in range(0, self.store.count, tile):
+            stop = min(start + tile, self.store.count)
+            block = data[start:stop].astype(np.float64)
+            distances = (
+                q_norms[:, np.newaxis] + norms[np.newaxis, start:stop] - 2.0 * dots_for(block)
+            )
+            np.clip(distances, 0.0, None, out=distances)
+            positions = np.arange(start, stop)
+            for answers, row in zip(answer_sets, distances):
+                answers.offer_batch(positions, row)
+
+        elapsed = time.perf_counter() - start_time
+        delta = self.store.since(before)
+        return self._package_batch_results(answer_sets, elapsed, delta)
+
+    def _package_batch_results(
+        self, answer_sets: list[KnnAnswerSet], elapsed: float, delta
+    ) -> list[SearchResult]:
+        """Package per-query answers produced by one shared batch pass.
+
+        The measured CPU time and the access counts of the shared scan are
+        amortized evenly over the batch (integer counters distribute their
+        remainder to the first queries so batch totals are preserved) — this
+        is the accounting story of batched execution: ``Q`` queries share a
+        single pass over the data.
+        """
+        count = len(answer_sets)
+        results = []
+        for i, answers in enumerate(answer_sets):
+
+            def share(total: int) -> int:
+                return total // count + (1 if i < total % count else 0)
+
+            stats = QueryStats(dataset_size=self.store.count)
+            stats.cpu_seconds = elapsed / count
+            stats.series_examined = self.store.count
+            stats.random_accesses = share(delta.random_accesses)
+            stats.sequential_pages = share(delta.sequential_pages)
+            stats.bytes_read = share(delta.bytes_read)
+            neighbors = answers.neighbors()
+            if neighbors:
+                stats.answer_distance = neighbors[0].distance
+            results.append(SearchResult(neighbors, stats))
+        return results
+
     def knn_approximate(self, query: KnnQuery) -> SearchResult:
         """Answer an ng-approximate k-NN query (one index path, one leaf)."""
         self._require_built()
@@ -199,9 +288,7 @@ class SearchMethod(abc.ABC):
         data = self.store.scan()
         stats.series_examined += self.store.count
         distances = squared_euclidean_batch(query, data)
-        within = np.flatnonzero(distances <= radius * radius)
-        for position in within:
-            answers.offer(int(position), float(distances[position]))
+        answers.offer_batch(np.arange(self.store.count), distances)
         return answers
 
     # -- description ---------------------------------------------------------------

@@ -23,7 +23,11 @@ from ...core.buffer import BufferPool
 from ...core.distance import squared_euclidean_batch
 from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
-from ...summarization.eapca import NodeSynopsis
+from ...summarization.eapca import (
+    NodeSynopsis,
+    query_segment_stats,
+    synopses_lower_bounds,
+)
 from ..base import SearchMethod
 from .node import DsTreeNode, SplitPolicy
 
@@ -252,6 +256,41 @@ class DsTreeIndex(SearchMethod):
         self._scan_leaf(leaf, query, answers, stats)
         return answers
 
+    def _query_stats_cache(self, query: np.ndarray):
+        """Per-query cache of segment (means, stds, widths) by segmentation.
+
+        A DSTree traversal revisits the same few segmentations (vertical
+        splits only refine a handful of them), so the query-side statistics
+        feeding the batch lower bound are computed once per segmentation.
+        """
+        cache: dict[bytes, tuple] = {}
+
+        def stats_for(boundaries: np.ndarray) -> tuple:
+            key = boundaries.tobytes()
+            out = cache.get(key)
+            if out is None:
+                out = query_segment_stats(query, boundaries)
+                cache[key] = out
+            return out
+
+        return stats_for
+
+    def _children_bounds(
+        self, node: DsTreeNode, stats_for
+    ) -> list[tuple[DsTreeNode, float]]:
+        """Lower bounds for a node's children via one batch synopsis call."""
+        children, stacked = node.child_bound_arrays()
+        out = []
+        if children:
+            means, stds, widths = stats_for(children[0].boundaries)
+            bounds = synopses_lower_bounds(means, stds, widths, stacked)
+            out.extend((child, float(b)) for child, b in zip(children, bounds))
+        # Children without a synopsis cannot be pruned (bound 0).
+        for child in (node.left, node.right):
+            if child is not None and child.synopsis is None:
+                out.append((child, 0.0))
+        return out
+
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
         answers = KnnAnswerSet(k)
         start_leaf = self._leaf_for(query)
@@ -259,17 +298,17 @@ class DsTreeIndex(SearchMethod):
 
         counter = itertools.count()
         heap: list[tuple[float, int, DsTreeNode]] = []
+        stats_for = self._query_stats_cache(query)
 
-        def push(node: DsTreeNode) -> None:
-            if node.synopsis is None:
-                bound = 0.0
-            else:
-                bound = node.synopsis.lower_bound(query)
+        def push(node: DsTreeNode, bound: float) -> None:
             stats.lower_bounds_computed += 1
             if bound * bound < answers.worst_squared_distance:
                 heapq.heappush(heap, (bound, next(counter), node))
 
-        push(self.root)
+        if self.root.synopsis is None:
+            push(self.root, 0.0)
+        else:
+            push(self.root, self.root.synopsis.lower_bound(query))
         while heap:
             bound, _, node = heapq.heappop(heap)
             if bound * bound >= answers.worst_squared_distance:
@@ -280,10 +319,8 @@ class DsTreeIndex(SearchMethod):
                     continue
                 self._scan_leaf(node, query, answers, stats)
                 continue
-            if node.left is not None:
-                push(node.left)
-            if node.right is not None:
-                push(node.right)
+            for child, child_bound in self._children_bounds(node, stats_for):
+                push(child, child_bound)
         return answers
 
     def _range_exact(
@@ -291,13 +328,14 @@ class DsTreeIndex(SearchMethod):
     ) -> RangeAnswerSet:
         """r-range query: visit every subtree whose synopsis bound is within range."""
         answers = RangeAnswerSet(radius=radius)
+        stats_for = self._query_stats_cache(query)
+        root_bound = 0.0 if self.root.synopsis is None else self.root.synopsis.lower_bound(query)
+        stats.lower_bounds_computed += 1
+        if root_bound > radius:
+            return answers
         stack = [self.root]
         while stack:
             node = stack.pop()
-            bound = 0.0 if node.synopsis is None else node.synopsis.lower_bound(query)
-            stats.lower_bounds_computed += 1
-            if bound > radius:
-                continue
             stats.nodes_visited += 1
             if node.is_leaf:
                 if not node.positions:
@@ -306,13 +344,12 @@ class DsTreeIndex(SearchMethod):
                 distances = squared_euclidean_batch(query, block)
                 stats.series_examined += len(node.positions)
                 stats.leaves_visited += 1
-                for position, sq in zip(node.positions, distances):
-                    answers.offer(int(position), float(sq))
+                answers.offer_batch(np.asarray(node.positions), distances)
                 continue
-            if node.left is not None:
-                stack.append(node.left)
-            if node.right is not None:
-                stack.append(node.right)
+            for child, bound in self._children_bounds(node, stats_for):
+                stats.lower_bounds_computed += 1
+                if bound <= radius:
+                    stack.append(child)
         return answers
 
     def describe(self) -> dict:

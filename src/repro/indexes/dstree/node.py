@@ -51,10 +51,34 @@ class DsTreeNode:
     left: "DsTreeNode | None" = None
     right: "DsTreeNode | None" = None
     parent: "DsTreeNode | None" = None
+    #: cached (children, stacked synopsis ranges) for the batch lower-bound
+    #: kernel; built lazily at query time (the tree is static after build()).
+    _child_bound_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    def child_bound_arrays(self) -> tuple:
+        """Children owning a synopsis plus their stacked range matrices.
+
+        Returns ``(children, stacked)`` where ``stacked`` feeds
+        :func:`~repro.summarization.eapca.synopses_lower_bounds`.  Both
+        children of a DSTree split share one segmentation, so a single batch
+        call bounds the pair.  Cached on the node; the tree does not change
+        after construction.
+        """
+        from ...summarization.eapca import stack_synopses
+
+        cache = self._child_bound_cache
+        children = [
+            c for c in (self.left, self.right) if c is not None and c.synopsis is not None
+        ]
+        if cache is None or len(cache[0]) != len(children):
+            stacked = stack_synopses([c.synopsis for c in children]) if children else None
+            cache = (children, stacked)
+            self._child_bound_cache = cache
+        return cache
 
     def iter_nodes(self):
         stack = [self]

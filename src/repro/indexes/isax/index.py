@@ -111,13 +111,13 @@ class Isax2PlusIndex(SearchMethod):
         key = word.symbols
         child = node.children.get(key)
         if child is None:
-            # The child words of a binary split are fixed; pick the closer one.
-            children = list(node.children.values())
-            best = min(
-                children,
-                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            # The child words of a binary split are fixed; pick the closer one
+            # by scoring every child in one batch MINDIST call.
+            children, symbols, cardinalities = node.child_arrays()
+            bounds = self.summarizer.mindist_paa_to_words_batch(
+                paa, symbols, cardinalities
             )
-            return best
+            return children[int(np.argmin(bounds))]
         return child
 
     def _choose_split_segment(self, node: IsaxNode) -> int | None:
@@ -184,10 +184,11 @@ class Isax2PlusIndex(SearchMethod):
             # No exact root child: fall back to the closest root child.
             if not self.root.children:
                 return None
-            node = min(
-                self.root.children.values(),
-                key=lambda c: self.summarizer.mindist_paa_to_word(paa, c.word),
+            children, symbols, cardinalities = self.root.child_arrays()
+            bounds = self.summarizer.mindist_paa_to_words_batch(
+                paa, symbols, cardinalities
             )
+            node = children[int(np.argmin(bounds))]
         while not node.is_leaf:
             node = self._route(node, paa)
         return node
@@ -222,13 +223,27 @@ class Isax2PlusIndex(SearchMethod):
         if start_leaf is not None:
             self._scan_leaf(start_leaf, query, answers, stats)
 
-        # Step 2: bounded best-first traversal ordered by MINDIST.
+        # Step 2: bounded best-first traversal ordered by MINDIST.  All
+        # children of a node are scored in one array-native batch call against
+        # the node's cached word matrices.
         counter = itertools.count()
         heap: list[tuple[float, int, IsaxNode]] = []
-        for child in self.root.children.values():
-            bound = self.summarizer.mindist_paa_to_word(paa, child.word)
-            stats.lower_bounds_computed += 1
-            heapq.heappush(heap, (bound, next(counter), child))
+
+        def push_children(parent: IsaxNode, prune: bool) -> None:
+            if not parent.children:
+                return
+            children, symbols, cardinalities = parent.child_arrays()
+            bounds = self.summarizer.mindist_paa_to_words_batch(
+                paa, symbols, cardinalities
+            )
+            stats.lower_bounds_computed += len(children)
+            threshold = answers.worst_squared_distance
+            for child, child_bound in zip(children, bounds):
+                if prune and child_bound * child_bound >= threshold:
+                    continue
+                heapq.heappush(heap, (float(child_bound), next(counter), child))
+
+        push_children(self.root, prune=False)
         while heap:
             bound, _, node = heapq.heappop(heap)
             if bound * bound >= answers.worst_squared_distance:
@@ -239,11 +254,7 @@ class Isax2PlusIndex(SearchMethod):
                     continue
                 self._scan_leaf(node, query, answers, stats)
                 continue
-            for child in node.children.values():
-                child_bound = self.summarizer.mindist_paa_to_word(paa, child.word)
-                stats.lower_bounds_computed += 1
-                if child_bound * child_bound < answers.worst_squared_distance:
-                    heapq.heappush(heap, (child_bound, next(counter), child))
+            push_children(node, prune=True)
         return answers
 
     def _range_exact(
@@ -252,13 +263,20 @@ class Isax2PlusIndex(SearchMethod):
         """r-range query: visit every node whose MINDIST is within the radius."""
         answers = RangeAnswerSet(radius=radius)
         paa = self.summarizer.paa.transform(query)
-        stack = list(self.root.children.values())
+
+        def in_range_children(parent: IsaxNode) -> list[IsaxNode]:
+            if not parent.children:
+                return []
+            children, symbols, cardinalities = parent.child_arrays()
+            bounds = self.summarizer.mindist_paa_to_words_batch(
+                paa, symbols, cardinalities
+            )
+            stats.lower_bounds_computed += len(children)
+            return [c for c, b in zip(children, bounds) if b <= radius]
+
+        stack = in_range_children(self.root)
         while stack:
             node = stack.pop()
-            bound = self.summarizer.mindist_paa_to_word(paa, node.word)
-            stats.lower_bounds_computed += 1
-            if bound > radius:
-                continue
             stats.nodes_visited += 1
             if node.is_leaf:
                 if not node.positions:
@@ -267,10 +285,9 @@ class Isax2PlusIndex(SearchMethod):
                 distances = squared_euclidean_batch(query, block)
                 stats.series_examined += len(node.positions)
                 stats.leaves_visited += 1
-                for position, sq in zip(node.positions, distances):
-                    answers.offer(int(position), float(sq))
+                answers.offer_batch(np.asarray(node.positions), distances)
                 continue
-            stack.extend(node.children.values())
+            stack.extend(in_range_children(node))
         return answers
 
     def describe(self) -> dict:

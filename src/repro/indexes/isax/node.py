@@ -32,10 +32,33 @@ class IsaxNode:
     #: the segment whose cardinality was doubled to create this node's children.
     split_segment: int | None = None
     parent: "IsaxNode | None" = None
+    #: cached (children, symbols, cardinalities) matrices for the batch MINDIST
+    #: kernel; rebuilt lazily whenever the child set grows (children are only
+    #: ever appended, never removed, so the count is a sufficient cache key).
+    _child_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    def child_arrays(self) -> tuple:
+        """The node's children plus their stacked iSAX word matrices.
+
+        Returns ``(children, symbols, cardinalities)`` where ``children`` is a
+        stable list of the child nodes and the two ``(children, segments)``
+        integer matrices are the array-native summary a query scores in one
+        :meth:`~repro.summarization.sax.IsaxSummarizer.mindist_paa_to_words_batch`
+        call.  Built once per child set and cached on the node.
+        """
+        from ...summarization.sax import stack_words
+
+        cache = self._child_cache
+        if cache is None or len(cache[0]) != len(self.children):
+            children = list(self.children.values())
+            symbols, cardinalities = stack_words([c.word for c in children])
+            cache = (children, symbols, cardinalities)
+            self._child_cache = cache
+        return cache
 
     def add(self, position: int, paa: np.ndarray) -> None:
         self.positions.append(position)

@@ -36,10 +36,30 @@ class SfaTrieNode:
     is_leaf: bool = True
     positions: list[int] = field(default_factory=list)
     children: dict = field(default_factory=dict)
+    #: cached (children, prefix matrix) for the batch prefix bound; children
+    #: are append-only, so the count is a sufficient cache key.
+    _child_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    def child_arrays(self) -> tuple:
+        """The node's children plus their stacked prefix matrix.
+
+        All children of a trie node share one prefix length (``depth + 1``),
+        so their symbol prefixes stack into a ``(children, depth + 1)`` matrix
+        scored in a single
+        :meth:`~repro.summarization.sfa.SfaSummarizer.prefix_lower_bound_batch`
+        call.  Built once per child set and cached on the node.
+        """
+        cache = self._child_cache
+        if cache is None or len(cache[0]) != len(self.children):
+            children = list(self.children.values())
+            prefixes = np.array([c.prefix for c in children], dtype=np.int64)
+            cache = (children, prefixes)
+            self._child_cache = cache
+        return cache
 
     def iter_nodes(self):
         stack = [self]
@@ -229,10 +249,20 @@ class SfaTrieIndex(SearchMethod):
 
         counter = itertools.count()
         heap: list[tuple[float, int, SfaTrieNode]] = []
-        for child in self.root.children.values():
-            bound = self._prefix_lower_bound(query_dft, child)
-            stats.lower_bounds_computed += 1
-            heapq.heappush(heap, (bound, next(counter), child))
+
+        def push_children(parent: SfaTrieNode, prune: bool) -> None:
+            if not parent.children:
+                return
+            children, prefixes = parent.child_arrays()
+            bounds = self.summarizer.prefix_lower_bound_batch(query_dft, prefixes)
+            stats.lower_bounds_computed += len(children)
+            threshold = answers.worst_squared_distance
+            for child, child_bound in zip(children, bounds):
+                if prune and child_bound * child_bound >= threshold:
+                    continue
+                heapq.heappush(heap, (float(child_bound), next(counter), child))
+
+        push_children(self.root, prune=False)
         while heap:
             bound, _, node = heapq.heappop(heap)
             if bound * bound >= answers.worst_squared_distance:
@@ -243,11 +273,7 @@ class SfaTrieIndex(SearchMethod):
                     continue
                 self._scan_leaf(node, query, answers, stats)
                 continue
-            for child in node.children.values():
-                child_bound = self._prefix_lower_bound(query_dft, child)
-                stats.lower_bounds_computed += 1
-                if child_bound * child_bound < answers.worst_squared_distance:
-                    heapq.heappush(heap, (child_bound, next(counter), child))
+            push_children(node, prune=True)
         return answers
 
     def describe(self) -> dict:

@@ -1,6 +1,7 @@
-"""Sequential (non-indexing) similarity-search methods: UCR Suite and MASS."""
+"""Sequential (non-indexing) methods: UCR Suite, MASS and the flat scan."""
 
-from .ucr_suite import UcrSuiteScan
+from .flat import FlatScan
 from .mass import MassScan
+from .ucr_suite import UcrSuiteScan
 
-__all__ = ["UcrSuiteScan", "MassScan"]
+__all__ = ["FlatScan", "MassScan", "UcrSuiteScan"]

@@ -15,7 +15,7 @@ import numpy as np
 from ..core.answers import KnnAnswerSet
 from ..core.stats import QueryStats
 from ..core.storage import SeriesStore
-from ..indexes.base import SearchMethod
+from ..indexes.base import SearchMethod, SearchResult
 
 __all__ = ["MassScan"]
 
@@ -67,6 +67,34 @@ class MassScan(SearchMethod):
             np.clip(distances, 0.0, None, out=distances)
             answers.offer_batch(np.arange(start, start + block.shape[0]), distances)
         return answers
+
+    def knn_exact_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
+        """Exact k-NN for a whole query batch with shared candidate FFTs.
+
+        The expensive side of MASS is transforming the candidates; in the
+        batch path each data block is transformed *once* and the lag-0 dot
+        products of every query against the block come out of one complex
+        matrix product (the frequency-domain evaluation of
+        ``irfft(block_fft * conj(q_fft))[..., 0]``, with conjugate-symmetry
+        weights folding the hermitian half-spectrum).
+        """
+        self._require_built()
+        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = self.store.length
+        q_fft = np.fft.rfft(qs, n=n, axis=1)  # (Q, F)
+        # Hermitian weights: DC (and Nyquist for even n) count once, the
+        # mirrored interior bins twice.
+        weights = np.full(q_fft.shape[1], 2.0)
+        weights[0] = 1.0
+        if n % 2 == 0:
+            weights[-1] = 1.0
+        spectrum = (np.conj(q_fft) * weights).T / n  # (F, Q)
+
+        def dots_for(block: np.ndarray) -> np.ndarray:
+            block_fft = np.fft.rfft(block, n=n, axis=1)  # (T, F), once per tile
+            return np.real(block_fft @ spectrum).T  # (Q, T) in one complex GEMM
+
+        return self._tiled_batch_scan(qs, k, self.block_size, self._norms, dots_for)
 
     def describe(self) -> dict:
         info = super().describe()

@@ -15,7 +15,14 @@ import numpy as np
 
 from .base import Summarizer
 
-__all__ = ["EapcaSummarizer", "SegmentSynopsis", "NodeSynopsis"]
+__all__ = [
+    "EapcaSummarizer",
+    "SegmentSynopsis",
+    "NodeSynopsis",
+    "query_segment_stats",
+    "stack_synopses",
+    "synopses_lower_bounds",
+]
 
 
 def _segment_stats(series: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
@@ -138,6 +145,64 @@ class NodeSynopsis:
             std_sum = q_std + seg.std_max
             total += seg.width * (mean_gap * mean_gap + std_sum * std_sum)
         return float(np.sqrt(total))
+
+
+def query_segment_stats(
+    query: np.ndarray, boundaries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``(means, stds, widths)`` of a query over one segmentation.
+
+    Uses the same ``np.mean``/``np.std`` arithmetic as the scalar
+    :meth:`NodeSynopsis.lower_bound`, so batch and scalar bounds agree to
+    floating-point accuracy.  Callers cache the result per (query,
+    segmentation) pair — a DSTree traversal revisits the same few
+    segmentations at every node.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    segments = len(boundaries) - 1
+    means = np.empty(segments, dtype=np.float64)
+    stds = np.empty(segments, dtype=np.float64)
+    for j in range(segments):
+        chunk = q[boundaries[j] : boundaries[j + 1]]
+        means[j] = chunk.mean()
+        stds[j] = chunk.std()
+    widths = np.diff(np.asarray(boundaries, dtype=np.float64))
+    return means, stds, widths
+
+
+def stack_synopses(synopses) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stack the per-segment ranges of synopses sharing one segmentation.
+
+    Returns ``(mean_min, mean_max, std_min, std_max)`` matrices of shape
+    ``(nodes, segments)`` — the array-native summary a DSTree node caches for
+    its children so a query bounds the whole child set in one call.
+    """
+    mean_min = np.array([[s.mean_min for s in syn.segments] for syn in synopses])
+    mean_max = np.array([[s.mean_max for s in syn.segments] for syn in synopses])
+    std_min = np.array([[s.std_min for s in syn.segments] for syn in synopses])
+    std_max = np.array([[s.std_max for s in syn.segments] for syn in synopses])
+    return mean_min, mean_max, std_min, std_max
+
+
+def synopses_lower_bounds(
+    query_means: np.ndarray,
+    query_stds: np.ndarray,
+    widths: np.ndarray,
+    stacked: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Vectorized :meth:`NodeSynopsis.lower_bound` over many synopses at once.
+
+    ``stacked`` comes from :func:`stack_synopses`; the query-side arrays come
+    from :func:`query_segment_stats`.  Every synopsis must share the
+    segmentation the query stats were computed over.
+    """
+    mean_min, mean_max, std_min, std_max = stacked
+    q_mean = query_means[np.newaxis, :]
+    q_std = query_stds[np.newaxis, :]
+    mean_gap = np.maximum(mean_min - q_mean, 0.0) + np.maximum(q_mean - mean_max, 0.0)
+    std_gap = np.maximum(std_min - q_std, 0.0) + np.maximum(q_std - std_max, 0.0)
+    total = np.sum(widths[np.newaxis, :] * (mean_gap * mean_gap + std_gap * std_gap), axis=1)
+    return np.sqrt(total)
 
 
 class EapcaSummarizer(Summarizer):

@@ -19,11 +19,14 @@ from .paa import PaaSummarizer
 
 __all__ = [
     "sax_breakpoints",
+    "sax_region_edges",
+    "stack_words",
     "SaxWord",
     "IsaxSummarizer",
 ]
 
 _BREAKPOINT_CACHE: dict[int, np.ndarray] = {}
+_REGION_EDGE_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
 
 def _norm_ppf(p: np.ndarray) -> np.ndarray:
@@ -81,6 +84,48 @@ def sax_breakpoints(cardinality: int) -> np.ndarray:
         probs = np.arange(1, cardinality) / cardinality
         _BREAKPOINT_CACHE[cardinality] = _norm_ppf(probs)
     return _BREAKPOINT_CACHE[cardinality]
+
+
+def sax_region_edges(max_cardinality: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened region-edge table for every power-of-two cardinality.
+
+    Returns ``(edges, offsets)`` such that for a segment with cardinality ``c``
+    (a power of two ``<= max_cardinality``) and symbol ``s``, the breakpoint
+    interval covered by the symbol is
+    ``(edges[offsets[c] + s], edges[offsets[c] + s + 1])``, with ``-inf``/
+    ``+inf`` sentinels at the extremes.  This is the lookup structure behind
+    the array-native MINDIST kernel: one fancy-indexing gather replaces the
+    per-word, per-segment ``segment_region`` calls.
+    """
+    if max_cardinality < 2 or (max_cardinality & (max_cardinality - 1)) != 0:
+        raise ValueError("max_cardinality must be a power of two >= 2")
+    cached = _REGION_EDGE_CACHE.get(max_cardinality)
+    if cached is None:
+        offsets = np.full(max_cardinality + 1, -1, dtype=np.int64)
+        pieces = []
+        cursor = 0
+        card = 2
+        while card <= max_cardinality:
+            offsets[card] = cursor
+            pieces.append(
+                np.concatenate(([-np.inf], sax_breakpoints(card), [np.inf]))
+            )
+            cursor += card + 1
+            card *= 2
+        cached = (np.concatenate(pieces), offsets)
+        _REGION_EDGE_CACHE[max_cardinality] = cached
+    return cached
+
+
+def stack_words(words) -> tuple[np.ndarray, np.ndarray]:
+    """Stack iSAX words into ``(symbols, cardinalities)`` integer matrices.
+
+    The matrices feed :meth:`IsaxSummarizer.mindist_paa_to_words_batch`; index
+    nodes cache them per child set so the batch kernel never rebuilds them.
+    """
+    symbols = np.array([w.symbols for w in words], dtype=np.int64)
+    cardinalities = np.array([w.cardinalities for w in words], dtype=np.int64)
+    return symbols, cardinalities
 
 
 def _symbolize(paa_values: np.ndarray, cardinality: int) -> np.ndarray:
@@ -205,6 +250,36 @@ class IsaxSummarizer(Summarizer):
                 gap = 0.0
             total += gap * gap
         return float(np.sqrt(self._segment_width * total))
+
+    def mindist_paa_to_words_batch(
+        self,
+        query_paa: np.ndarray,
+        symbols: np.ndarray,
+        cardinalities: np.ndarray,
+    ) -> np.ndarray:
+        """MINDIST between a query's PAA values and many iSAX words at once.
+
+        ``symbols`` and ``cardinalities`` are ``(words, segments)`` integer
+        matrices (see :func:`stack_words`); cardinalities may differ per word
+        *and* per segment, exactly as in :meth:`mindist_paa_to_word`.  One call
+        scores the query against every word — e.g. all children of an index
+        node — through a single gather into the flattened region-edge table,
+        replacing the per-word Python loop.  Matches the scalar kernel to
+        floating-point accuracy.
+        """
+        q = np.asarray(query_paa, dtype=np.float64)
+        syms = np.atleast_2d(np.asarray(symbols, dtype=np.int64))
+        cards = np.atleast_2d(np.asarray(cardinalities, dtype=np.int64))
+        if syms.shape != cards.shape:
+            raise ValueError("symbols and cardinalities must have equal shapes")
+        edges, offsets = sax_region_edges(self.cardinality)
+        base = offsets[cards] + syms
+        low = edges[base]
+        high = edges[base + 1]
+        below = np.maximum(low - q[np.newaxis, :], 0.0)   # -inf low -> 0
+        above = np.maximum(q[np.newaxis, :] - high, 0.0)  # +inf high -> 0
+        gap = below + above  # at most one side is non-zero per segment
+        return np.sqrt(self._segment_width * np.einsum("ij,ij->i", gap, gap))
 
     def mindist_symbols(
         self, query_symbols: np.ndarray, word: SaxWord

@@ -130,6 +130,37 @@ class SfaSummarizer(Summarizer):
         weights = self.dft._weights
         return float(np.sqrt(np.sum(weights * gaps * gaps)))
 
+    def prefix_lower_bound_batch(
+        self, query_summary: np.ndarray, prefixes: np.ndarray
+    ) -> np.ndarray:
+        """Lower bounds restricted to a word prefix, for many prefixes at once.
+
+        ``prefixes`` is a ``(words, length)`` integer matrix of SFA symbols
+        covering only the first ``length <= coefficients`` dimensions — the
+        summary available at one level of the SFA trie.  One call bounds a
+        query against every child of a trie node, replacing the per-child
+        Python loop; matches the scalar prefix bound to floating-point
+        accuracy.
+        """
+        q = np.asarray(query_summary, dtype=np.float64)
+        words = np.atleast_2d(np.asarray(prefixes, dtype=np.int64))
+        length = words.shape[1]
+        if length == 0:
+            return np.zeros(words.shape[0], dtype=np.float64)
+        breakpoints = self._require_fitted()
+        padded = np.empty((length, self.alphabet_size + 1), dtype=np.float64)
+        padded[:, 0] = -np.inf
+        padded[:, -1] = np.inf
+        padded[:, 1:-1] = breakpoints[:length]
+        cols = np.arange(length)
+        low = padded[cols, words]
+        high = padded[cols, words + 1]
+        below = np.maximum(low - q[np.newaxis, :length], 0.0)
+        above = np.maximum(q[np.newaxis, :length] - high, 0.0)
+        gaps = below + above
+        weights = self.dft._weights[:length]
+        return np.sqrt(np.sum(weights[np.newaxis, :] * gaps * gaps, axis=1))
+
     def lower_bound_batch(
         self, query_summary: np.ndarray, candidate_summaries: np.ndarray
     ) -> np.ndarray:

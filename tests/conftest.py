@@ -43,7 +43,7 @@ def tiny_store(tiny_dataset) -> SeriesStore:
     return SeriesStore(tiny_dataset)
 
 
-def brute_force_knn(dataset: Dataset, query: np.ndarray, k: int = 1):
+def _brute_force_knn(dataset: Dataset, query: np.ndarray, k: int = 1):
     """Ground-truth k-NN by full scan (squared distances, sorted ascending)."""
     diffs = dataset.values.astype(np.float64) - np.asarray(query, dtype=np.float64)
     distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
@@ -52,14 +52,31 @@ def brute_force_knn(dataset: Dataset, query: np.ndarray, k: int = 1):
 
 
 @pytest.fixture(scope="session")
+def brute_force_knn():
+    """The ground-truth helper, shared as a fixture.
+
+    Conftest helpers must reach test modules through fixtures (importing
+    ``conftest`` directly is unsupported by pytest); the fixture returns the
+    callable so call sites read exactly like a plain function.
+    """
+    return _brute_force_knn
+
+
+@pytest.fixture(scope="session")
 def ground_truth(small_dataset, small_queries):
     """Exact 1-NN answers for the small dataset / small queries pair."""
     answers = []
     for query in small_queries:
-        positions, distances = brute_force_knn(small_dataset, query.series, k=1)
+        positions, distances = _brute_force_knn(small_dataset, query.series, k=1)
         answers.append((int(positions[0]), float(distances[0])))
     return answers
 
 
-def make_query(series, k: int = 1) -> KnnQuery:
+def _make_query(series, k: int = 1) -> KnnQuery:
     return KnnQuery(series=np.asarray(series), k=k)
+
+
+@pytest.fixture(scope="session")
+def make_query():
+    """Query-construction helper, shared as a fixture (see brute_force_knn)."""
+    return _make_query

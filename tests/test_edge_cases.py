@@ -7,8 +7,6 @@ from repro import Dataset, SeriesStore, create_method
 from repro.core.queries import KnnQuery
 from repro.workloads import random_walk_dataset
 
-from .conftest import brute_force_knn
-
 EDGE_METHODS = {
     "dstree": {"leaf_capacity": 5},
     "isax2+": {"leaf_capacity": 5},
@@ -78,7 +76,7 @@ class TestExtremeParameters:
         query = KnnQuery(series=dataset[3])
         assert method.knn_exact(query).nearest.position == 3
 
-    def test_very_small_buffer_still_correct(self):
+    def test_very_small_buffer_still_correct(self, brute_force_knn):
         dataset = random_walk_dataset(80, 32, seed=9)
         method = create_method(
             "dstree", SeriesStore(dataset), leaf_capacity=10, buffer_capacity=5
@@ -110,7 +108,7 @@ class TestAdversarialData:
             result = method.knn_exact(KnnQuery(series=values[0], k=3))
             assert all(d == pytest.approx(0.0, abs=1e-6) for d in result.distances())
 
-    def test_extreme_magnitudes(self):
+    def test_extreme_magnitudes(self, brute_force_knn):
         rng = np.random.default_rng(11)
         values = (rng.standard_normal((60, 32)) * 1e6).astype(np.float32)
         dataset = Dataset(values=values, name="huge-values", normalized=False)
@@ -121,7 +119,7 @@ class TestAdversarialData:
             result = method.knn_exact(KnnQuery(series=values[5]))
             assert result.nearest.distance == pytest.approx(truth[0], rel=1e-4)
 
-    def test_query_far_outside_data_distribution(self, small_dataset):
+    def test_query_far_outside_data_distribution(self, small_dataset, brute_force_knn):
         """A query far from every series still returns the true nearest neighbor."""
         far_query = np.full(small_dataset.length, 50.0)
         _, truth = brute_force_knn(small_dataset, far_query, k=1)

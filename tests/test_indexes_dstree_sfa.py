@@ -8,8 +8,6 @@ from repro.core.queries import KnnQuery
 from repro.indexes.dstree import DsTreeIndex
 from repro.indexes.sfa_trie import SfaTrieIndex
 
-from .conftest import brute_force_knn
-
 
 class TestDsTree:
     @pytest.fixture()
@@ -29,13 +27,13 @@ class TestDsTree:
             positions.extend(leaf.positions)
         assert sorted(positions) == list(range(small_dataset.count))
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn10(self, index, small_dataset, small_queries):
+    def test_exact_knn10(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[2]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=10)
         result = index.knn_exact(KnnQuery(series=query.series, k=10))
@@ -96,7 +94,7 @@ class TestSfaTrie:
                 positions.extend(leaf.positions)
         assert sorted(positions) == list(range(small_dataset.count))
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
@@ -107,7 +105,7 @@ class TestSfaTrie:
         assert max(depths) >= 1
         assert max(depths) <= index.coefficients
 
-    def test_exact_with_equi_width_binning(self, small_dataset, small_queries):
+    def test_exact_with_equi_width_binning(self, small_dataset, small_queries, brute_force_knn):
         store = SeriesStore(small_dataset)
         idx = SfaTrieIndex(store, coefficients=8, binning="equi-width", leaf_capacity=50)
         idx.build()

@@ -10,8 +10,6 @@ from repro.indexes.vafile import VaPlusFileIndex
 from repro.sequential.mass import MassScan
 from repro.sequential.ucr_suite import UcrSuiteScan
 
-from .conftest import brute_force_knn
-
 
 class TestVaPlusFile:
     @pytest.fixture()
@@ -21,13 +19,13 @@ class TestVaPlusFile:
         idx.build()
         return idx
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn5(self, index, small_dataset, small_queries):
+    def test_exact_knn5(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[0]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
         result = index.knn_exact(KnnQuery(series=query.series, k=5))
@@ -62,13 +60,13 @@ class TestStepwise:
         idx.build()
         return idx
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn5(self, index, small_dataset, small_queries):
+    def test_exact_knn5(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[2]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
         result = index.knn_exact(KnnQuery(series=query.series, k=5))
@@ -83,7 +81,7 @@ class TestStepwise:
         with pytest.raises(NotImplementedError):
             index.knn_approximate(small_queries[0])
 
-    def test_multi_level_step(self, small_dataset, small_queries):
+    def test_multi_level_step(self, small_dataset, small_queries, brute_force_knn):
         store = SeriesStore(small_dataset)
         idx = StepwiseIndex(store, levels_per_step=2)
         idx.build()
@@ -104,7 +102,7 @@ class TestUcrSuite:
         method.build()
         return method
 
-    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = scan.knn_exact(query)
@@ -119,7 +117,7 @@ class TestUcrSuite:
         assert result.stats.random_accesses == 1  # one positioning seek
         assert result.stats.sequential_pages == scan.store.total_pages
 
-    def test_without_early_abandoning(self, small_dataset, small_queries):
+    def test_without_early_abandoning(self, small_dataset, small_queries, brute_force_knn):
         store = SeriesStore(small_dataset)
         scan = UcrSuiteScan(store, use_early_abandoning=False)
         scan.build()
@@ -127,7 +125,7 @@ class TestUcrSuite:
         result = scan.knn_exact(small_queries[0])
         assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_knn10(self, scan, small_dataset, small_queries):
+    def test_knn10(self, scan, small_dataset, small_queries, brute_force_knn):
         query = small_queries[3]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=10)
         result = scan.knn_exact(KnnQuery(series=query.series, k=10))
@@ -147,13 +145,13 @@ class TestMass:
         method.build()
         return method
 
-    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, scan, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = scan.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_knn5(self, scan, small_dataset, small_queries):
+    def test_knn5(self, scan, small_dataset, small_queries, brute_force_knn):
         query = small_queries[1]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
         result = scan.knn_exact(KnnQuery(series=query.series, k=5))

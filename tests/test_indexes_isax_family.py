@@ -8,8 +8,6 @@ from repro.core.queries import KnnQuery
 from repro.indexes.ads import AdsPlusIndex
 from repro.indexes.isax import Isax2PlusIndex
 
-from .conftest import brute_force_knn
-
 
 class TestIsax2Plus:
     @pytest.fixture()
@@ -42,13 +40,13 @@ class TestIsax2Plus:
                     c == index.cardinality for c in leaf.word.cardinalities
                 )
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             truth_pos, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn5(self, index, small_dataset, small_queries):
+    def test_exact_knn5(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[0]
         truth_pos, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
         result = index.knn_exact(KnnQuery(series=query.series, k=5))
@@ -96,7 +94,7 @@ class TestAdsPlus:
         idx.build()
         return idx
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
@@ -129,7 +127,7 @@ class TestAdsPlus:
         assert result.neighbors
         assert result.stats.leaves_visited == 1
 
-    def test_exact_knn3(self, index, small_dataset, small_queries):
+    def test_exact_knn3(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[1]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=3)
         result = index.knn_exact(KnnQuery(series=query.series, k=3))

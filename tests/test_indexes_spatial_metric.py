@@ -8,8 +8,6 @@ from repro.core.queries import KnnQuery
 from repro.indexes.mtree import MTreeIndex
 from repro.indexes.rstartree import RStarTreeIndex
 
-from .conftest import brute_force_knn
-
 
 class TestMTree:
     @pytest.fixture()
@@ -46,13 +44,13 @@ class TestMTree:
 
         check(index.root)
 
-    def test_exact_matches_brute_force(self, index, tiny_dataset, tiny_queries):
+    def test_exact_matches_brute_force(self, index, tiny_dataset, tiny_queries, brute_force_knn):
         for query in tiny_queries:
             _, truth_dist = brute_force_knn(tiny_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn5(self, index, tiny_dataset, tiny_queries):
+    def test_exact_knn5(self, index, tiny_dataset, tiny_queries, brute_force_knn):
         query = tiny_queries[0]
         _, truth_dist = brute_force_knn(tiny_dataset, query.series, k=5)
         result = index.knn_exact(KnnQuery(series=query.series, k=5))
@@ -105,13 +103,13 @@ class TestRStarTree:
                 assert np.all(child.lower >= node.lower - 1e-9)
                 assert np.all(child.upper <= node.upper + 1e-9)
 
-    def test_exact_matches_brute_force(self, index, small_dataset, small_queries):
+    def test_exact_matches_brute_force(self, index, small_dataset, small_queries, brute_force_knn):
         for query in small_queries:
             _, truth_dist = brute_force_knn(small_dataset, query.series, k=1)
             result = index.knn_exact(query)
             assert result.nearest.distance == pytest.approx(truth_dist[0], abs=1e-4)
 
-    def test_exact_knn5(self, index, small_dataset, small_queries):
+    def test_exact_knn5(self, index, small_dataset, small_queries, brute_force_knn):
         query = small_queries[1]
         _, truth_dist = brute_force_knn(small_dataset, query.series, k=5)
         result = index.knn_exact(KnnQuery(series=query.series, k=5))
@@ -130,7 +128,7 @@ class TestRStarTree:
         for leaf in index.root.leaves():
             assert leaf.size <= index.leaf_capacity
 
-    def test_no_reinsert_variant_still_exact(self, small_dataset, small_queries):
+    def test_no_reinsert_variant_still_exact(self, small_dataset, small_queries, brute_force_knn):
         store = SeriesStore(small_dataset)
         idx = RStarTreeIndex(store, segments=8, leaf_capacity=20, reinsert_fraction=0.0)
         idx.build()

@@ -13,8 +13,6 @@ from repro import Dataset, SeriesStore, create_method
 from repro.core.queries import KnnQuery
 from repro.workloads import random_walk_dataset, synth_rand_workload
 
-from .conftest import brute_force_knn
-
 METHOD_PARAMS = {
     "ads+": {"leaf_capacity": 25},
     "dstree": {"leaf_capacity": 25},
@@ -43,7 +41,7 @@ def built_methods(small_dataset):
 @pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
 def test_exact_1nn_matches_brute_force(
     method_name, built_methods, small_dataset, small_queries
-):
+, brute_force_knn):
     method = built_methods[method_name]
     for query in small_queries:
         _, truth = brute_force_knn(small_dataset, query.series, k=1)
@@ -55,7 +53,7 @@ def test_exact_1nn_matches_brute_force(
 @pytest.mark.parametrize("k", [3, 7])
 def test_exact_knn_matches_brute_force(
     method_name, k, built_methods, small_dataset, small_queries
-):
+, brute_force_knn):
     method = built_methods[method_name]
     query = small_queries[0]
     _, truth = brute_force_knn(small_dataset, query.series, k=k)
@@ -98,7 +96,7 @@ def test_approximate_answer_is_a_true_distance(
 
 @given(st.integers(0, 100_000), st.sampled_from(["dstree", "isax2+", "va+file", "ads+"]))
 @settings(max_examples=10, deadline=None)
-def test_property_random_datasets_stay_exact(seed, method_name):
+def test_property_random_datasets_stay_exact(brute_force_knn, seed, method_name):
     """Exactness holds across randomly generated datasets and queries."""
     dataset = random_walk_dataset(120, 32, seed=seed)
     workload = synth_rand_workload(32, count=2, seed=seed + 1)

@@ -12,8 +12,6 @@ from repro.core.persistence import (
 )
 from repro.workloads import random_walk_dataset
 
-from .conftest import brute_force_knn, make_query
-
 
 class TestFingerprint:
     def test_stable_for_same_data(self, small_dataset):
@@ -37,7 +35,7 @@ class TestSaveLoad:
         ("va+file", {"coefficients": 8}),
     ])
     def test_roundtrip_preserves_answers(
-        self, tmp_path, small_dataset, small_queries, method_name, params
+        self, tmp_path, small_dataset, small_queries, method_name, params, brute_force_knn
     ):
         store = SeriesStore(small_dataset)
         method = create_method(method_name, store, **params)
