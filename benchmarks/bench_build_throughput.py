@@ -1,0 +1,179 @@
+"""Build throughput: series/sec of bulk-loaded vs per-series index construction.
+
+The paper's headline cost axis is indexing time versus query time — for
+several methods, building the index dominates end-to-end cost at scale, and
+iSAX2+'s defining contribution is precisely its bulk-loading algorithm.  This
+benchmark measures the construction throughput of the array-native bulk
+loaders (``build_mode="bulk"``, the default) against the legacy per-series
+insert loops (``build_mode="incremental"``) for every tree index, and verifies
+on a sample of queries that both construction paths answer identically.
+
+The default configuration mirrors the acceptance setting — a seeded
+100k x 128 random-walk dataset — where the bulk loaders are required to build
+iSAX2+ and DSTree at least 5x faster than the insert loops.
+
+Results are also written as JSON (``BENCH_build_throughput.json`` by default)
+so CI can archive the perf trajectory across commits.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_build_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_build_throughput.py --smoke    # CI
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+import numpy as np
+
+#: methods with a bulk loader, with build parameters at benchmark scale.
+METHODS = {
+    "isax2+": {"leaf_capacity": 100},
+    "ads+": {"leaf_capacity": 100},
+    "dstree": {"leaf_capacity": 100},
+    "sfa-trie": {"leaf_capacity": 500},
+}
+
+#: methods the acceptance criterion gates on (>= 5x at 100k x 128).
+GATED_METHODS = ("isax2+", "dstree")
+
+
+def _build_once(name: str, params: dict, dataset, mode: str):
+    from repro import SeriesStore, create_method
+
+    store = SeriesStore(dataset)
+    method = create_method(name, store, build_mode=mode, **params)
+    # Keep the previous build's debris out of the timed window: the
+    # incremental loops leave millions of temporaries to collect, and the
+    # first large allocations afterwards pay a one-time allocator/page-fault
+    # penalty (~2.5s after a 100k dstree loop build) that the scratch pass
+    # absorbs here instead of inside the measurement.
+    gc.collect()
+    scratch = np.ones((dataset.count, 4 * dataset.length))
+    scratch *= 2.0
+    del scratch
+    start = time.perf_counter()
+    method.build()
+    return method, time.perf_counter() - start
+
+
+def _answers_match(bulk_method, loop_method, queries, k: int) -> bool:
+    """Spot-check that both construction paths answer queries identically."""
+    from repro.core.queries import KnnQuery
+
+    for query in queries:
+        a = bulk_method.knn_exact(KnnQuery(series=query, k=k))
+        b = loop_method.knn_exact(KnnQuery(series=query, k=k))
+        if not np.allclose(a.distances(), b.distances(), rtol=1e-9, atol=1e-9):
+            return False
+    return True
+
+
+def run(count: int, length: int, check_queries: int, k: int) -> list[dict]:
+    from repro.workloads import random_walk_dataset, synth_rand_workload
+
+    dataset = random_walk_dataset(count, length, seed=2018, name="build-throughput")
+    queries = [
+        np.asarray(q.series, dtype=np.float64)
+        for q in synth_rand_workload(length, count=check_queries, seed=77)
+    ]
+
+    rows = []
+    for name, params in METHODS.items():
+        bulk_method, bulk_s = _build_once(name, params, dataset, "bulk")
+        loop_method, loop_s = _build_once(name, params, dataset, "incremental")
+        rows.append(
+            {
+                "method": name,
+                "series": count,
+                "length": length,
+                "loop_series_per_s": count / loop_s,
+                "bulk_series_per_s": count / bulk_s,
+                "loop_seconds": loop_s,
+                "bulk_seconds": bulk_s,
+                "speedup": loop_s / bulk_s,
+                "answers_match": _answers_match(bulk_method, loop_method, queries, k),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized run")
+    parser.add_argument("--count", type=int, default=100_000, help="series in the dataset")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--check-queries", type=int, default=5, help="equivalence spot-check queries")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per spot-check query")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless iSAX2+ and DSTree reach this bulk speedup",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_build_throughput.json",
+        help="path for the JSON results ('' disables writing)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.count, args.length = 5_000, 64
+
+    rows = run(args.count, args.length, args.check_queries, args.k)
+
+    print(f"\nbuild throughput — {args.count} x {args.length} series")
+    print(
+        f"{'method':<10} {'loop series/s':>14} {'bulk series/s':>14} "
+        f"{'speedup':>9} {'answers':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['method']:<10} {row['loop_series_per_s']:>14.0f} "
+            f"{row['bulk_series_per_s']:>14.0f} {row['speedup']:>8.1f}x "
+            f"{'match' if row['answers_match'] else 'DIFFER':>8}"
+        )
+
+    if args.json:
+        payload = {
+            "benchmark": "build_throughput",
+            "count": args.count,
+            "length": args.length,
+            "rows": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+    failed = False
+    for row in rows:
+        if not row["answers_match"]:
+            print(
+                f"FAIL: {row['method']} bulk and incremental builds answer differently",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.min_speedup is not None:
+        for name in GATED_METHODS:
+            speedup = next(r["speedup"] for r in rows if r["method"] == name)
+            if speedup < args.min_speedup:
+                print(
+                    f"FAIL: {name} bulk speedup {speedup:.2f}x below required "
+                    f"{args.min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from .persistence import dataset_fingerprint, load_method, save_method
 from .queries import KnnQuery, MatchingAccuracy, QueryWorkload, RangeQuery
 from .registry import METHOD_NAMES, available_methods, create_method, register_method
 from .series import SERIES_DTYPE, Dataset, is_znormalized, znormalize
+from .soa import GrowableArray
 from .stats import AccessCounter, IndexStats, QueryStats, aggregate_query_stats
 from .storage import DEFAULT_PAGE_BYTES, SeriesStore
 
@@ -48,6 +49,7 @@ __all__ = [
     "register_method",
     "Dataset",
     "SERIES_DTYPE",
+    "GrowableArray",
     "znormalize",
     "is_znormalized",
     "AccessCounter",

@@ -9,7 +9,8 @@ buffers, which is accounted as sequential writes followed by later re-reads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 
 from .stats import AccessCounter
 
@@ -60,13 +61,22 @@ class BufferPool:
         self.stats = BufferStats()
         self._buffers: dict[object, int] = {}
         self._in_memory = 0
+        # Max-heap of (-count, sequence, key) candidates for the next spill.
+        # Entries are pushed on every count change and invalidated lazily: an
+        # entry is live only while the buffer still holds exactly that count.
+        # This keeps each spill O(log n) where the old linear max() scan made
+        # buffer-constrained builds quadratic in the number of nodes.
+        self._spill_heap: list[tuple[int, int, object]] = []
+        self._heap_sequence = 0
 
     # -- operations -----------------------------------------------------------
     def add(self, node_key: object, count: int = 1) -> None:
         """Buffer ``count`` series for ``node_key``, spilling if over capacity."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        self._buffers[node_key] = self._buffers.get(node_key, 0) + count
+        new_count = self._buffers.get(node_key, 0) + count
+        self._buffers[node_key] = new_count
+        self._push_candidate(node_key, new_count)
         self._in_memory += count
         self.stats.series_buffered += count
         self.stats.peak_series_in_memory = max(
@@ -86,22 +96,47 @@ class BufferPool:
         """Flush every buffer (end of the build)."""
         total = sum(self._buffers.values())
         self._buffers.clear()
+        self._spill_heap.clear()
         self._in_memory = 0
         return total
 
     # -- internals --------------------------------------------------------------
+    def _push_candidate(self, node_key: object, count: int) -> None:
+        self._heap_sequence += 1
+        heapq.heappush(self._spill_heap, (-count, self._heap_sequence, node_key))
+        # Stale entries (old counts, flushed keys) accumulate; rebuild the heap
+        # from the live buffers when they dominate, bounding memory at O(nodes).
+        if len(self._spill_heap) > max(64, 4 * len(self._buffers)):
+            self._spill_heap = [
+                (-c, i, key) for i, (key, c) in enumerate(self._buffers.items())
+            ]
+            heapq.heapify(self._spill_heap)
+            self._heap_sequence = len(self._spill_heap)
+
     def _spill_largest(self) -> None:
-        node_key = max(self._buffers, key=self._buffers.get)
-        count = self._buffers.pop(node_key)
+        node_key = None
+        count = 0
+        while self._spill_heap:
+            neg_count, _, key = heapq.heappop(self._spill_heap)
+            if self._buffers.get(key) == -neg_count:
+                node_key, count = key, -neg_count
+                break
+        if node_key is None:
+            # Every heap entry was stale; fall back to a direct scan.
+            node_key = max(self._buffers, key=self._buffers.get)
+            count = self._buffers[node_key]
+        self._buffers.pop(node_key)
         self._in_memory -= count
         self.stats.spills += 1
         self.stats.series_spilled += count
         # Spilling costs one seek to the node's file plus a sequential write of
         # the buffered series; the spilled series will be re-read later, which
-        # is modelled as the same cost again (write + read round trip).
+        # is modelled as the same cost again.  The write and read halves of the
+        # round trip are charged to their own byte counters.
         pages = (count + self.page_series - 1) // self.page_series
         self.counter.random_accesses += 2
         self.counter.sequential_pages += 2 * pages
+        self.counter.bytes_written += count * self.series_bytes
         self.counter.bytes_read += count * self.series_bytes
 
     # -- inspection ---------------------------------------------------------------

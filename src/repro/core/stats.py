@@ -27,12 +27,15 @@ class AccessCounter:
     random_accesses: int = 0
     series_read: int = 0
     bytes_read: int = 0
+    #: bytes written to the simulated storage (construction-buffer spills).
+    bytes_written: int = 0
 
     def reset(self) -> None:
         self.sequential_pages = 0
         self.random_accesses = 0
         self.series_read = 0
         self.bytes_read = 0
+        self.bytes_written = 0
 
     def snapshot(self) -> "AccessCounter":
         return AccessCounter(
@@ -40,6 +43,7 @@ class AccessCounter:
             random_accesses=self.random_accesses,
             series_read=self.series_read,
             bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
         )
 
     def diff(self, earlier: "AccessCounter") -> "AccessCounter":
@@ -49,6 +53,7 @@ class AccessCounter:
             random_accesses=self.random_accesses - earlier.random_accesses,
             series_read=self.series_read - earlier.series_read,
             bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
         )
 
     def merge(self, other: "AccessCounter") -> None:
@@ -56,6 +61,7 @@ class AccessCounter:
         self.random_accesses += other.random_accesses
         self.series_read += other.series_read
         self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
 
 
 @dataclass

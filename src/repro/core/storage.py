@@ -35,12 +35,23 @@ class SeriesStore:
 
     Every call updates the shared :class:`~repro.core.stats.AccessCounter`, which
     the experiment runner snapshots around each query.
+
+    Reads return *views* into the in-memory dataset wherever NumPy indexing
+    allows (:meth:`scan`, :meth:`read_contiguous`, :meth:`read_one`, and slice
+    :meth:`peek` calls); only fancy-indexed block reads materialize copies.
+    Callers must therefore never mutate a returned block.  The store enforces
+    this by clearing the ``WRITEABLE`` flag on the dataset array, so an
+    accidental in-place write raises instead of silently corrupting the
+    collection every other reader shares.
     """
 
     def __init__(self, dataset: Dataset, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
         if page_bytes <= 0:
             raise ValueError("page_bytes must be positive")
         self.dataset = dataset
+        # Reads hand out views; freeze the backing array so callers cannot
+        # mutate the shared collection through them.
+        dataset.values.setflags(write=False)
         self.page_bytes = int(page_bytes)
         self.counter = AccessCounter()
         self._series_bytes = dataset.length * dataset.values.dtype.itemsize
@@ -94,7 +105,9 @@ class SeriesStore:
 
         The caller guarantees the positions belong to one physical block (e.g.
         the series materialized in one index leaf).  Counted as a single random
-        access plus the sequential pages covering the block.
+        access plus the sequential pages covering the block.  The returned
+        block must be treated as read-only, exactly like the views handed out
+        by :meth:`scan`/:meth:`read_contiguous`/:meth:`read_one`.
         """
         idx = np.asarray(positions, dtype=np.int64)
         if idx.size == 0:
@@ -121,7 +134,7 @@ class SeriesStore:
         return self.dataset.values[start:stop]
 
     def read_one(self, position: int) -> np.ndarray:
-        """Random access to a single series."""
+        """Random access to a single series (a read-only view, not a copy)."""
         self.counter.random_accesses += 1
         self.counter.sequential_pages += 1
         self.counter.series_read += 1

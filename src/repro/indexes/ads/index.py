@@ -40,10 +40,14 @@ class AdsPlusIndex(SearchMethod):
     leaf_capacity:
         Leaf threshold of the adaptive tree.  As the paper notes, the leaf size
         affects indexing but barely affects SIMS query answering.
+    build_mode:
+        ``"bulk"`` (default) partitions the summary matrix with array
+        operations; ``"incremental"`` forces the per-series insert loop.
     """
 
     name = "ads+"
     supports_approximate = True
+    supports_bulk_build = True
 
     def __init__(
         self,
@@ -51,8 +55,9 @@ class AdsPlusIndex(SearchMethod):
         segments: int = 16,
         cardinality: int = 256,
         leaf_capacity: int = 100,
+        build_mode: str = "bulk",
     ) -> None:
-        super().__init__(store)
+        super().__init__(store, build_mode=build_mode)
         segments = min(segments, store.length)
         self.summarizer = IsaxSummarizer(store.length, segments, cardinality)
         self.segments = segments
@@ -63,11 +68,40 @@ class AdsPlusIndex(SearchMethod):
         self._symbols: np.ndarray | None = None
 
     # -- construction -------------------------------------------------------------
-    def _build(self) -> None:
+    def _summarize_collection(self) -> None:
         data = self.store.scan()  # single sequential pass over the raw file
         self._paa = self.summarizer.paa.transform_batch(data)
         self._symbols = self.summarizer.transform_batch(data)
+
+    def _bulk_build(self) -> None:
+        self._summarize_collection()
         self.tree.bulk_insert(self._paa)
+
+    def _incremental_build(self) -> None:
+        self._summarize_collection()
+        for position in range(self.store.count):
+            self.tree.insert(position, self._paa[position])
+
+    def append(self, position: int) -> None:
+        """Insert one more series from the store into the built index.
+
+        Recomputes the series' summaries, grows the full-resolution summary
+        matrices SIMS scans (an O(n) array append — batch appends should
+        prefer a rebuild), and routes the series through the retained
+        per-series tree insert.
+        """
+        self._require_built()
+        if position != self._paa.shape[0]:
+            raise ValueError(
+                f"appends must be contiguous: expected position "
+                f"{self._paa.shape[0]}, got {position}"
+            )
+        series = np.asarray(self.store.peek(position), dtype=np.float64)
+        paa = self.summarizer.paa.transform(series)
+        symbols = self.summarizer.transform(series)
+        self._paa = np.vstack([self._paa, paa[np.newaxis, :]])
+        self._symbols = np.vstack([self._symbols, symbols[np.newaxis, :]])
+        self.tree.insert(position, self._paa[position])
 
     def _collect_footprint(self) -> None:
         leaves = self.tree.leaves()
@@ -91,12 +125,13 @@ class AdsPlusIndex(SearchMethod):
         answers = KnnAnswerSet(k)
         paa = self.summarizer.paa.transform(query)
         leaf = self.tree.leaf_for(paa)
-        if leaf is None or not leaf.positions:
+        if leaf is None or leaf.size == 0:
             return answers
-        block = self.store.read_block(np.asarray(leaf.positions))
+        positions = leaf.position_block()
+        block = self.store.read_block(positions)
         distances = squared_euclidean_batch(query, block)
-        answers.offer_batch(np.asarray(leaf.positions), distances)
-        stats.series_examined += len(leaf.positions)
+        answers.offer_batch(positions, distances)
+        stats.series_examined += leaf.size
         stats.leaves_visited += 1
         stats.nodes_visited += 1
         return answers
@@ -128,6 +163,7 @@ class AdsPlusIndex(SearchMethod):
             cardinality=self.cardinality,
             leaf_capacity=self.leaf_capacity,
             exact_algorithm="SIMS",
+            build_mode=self.build_mode,
         )
         return info
 

@@ -3,14 +3,23 @@
 The tree only stores PAA summaries and split structure; leaves keep the
 positions of their series but never the raw data (ADS+ materializes raw leaves
 lazily, and its SIMS exact algorithm bypasses leaf materialization entirely by
-scanning the raw file skip-sequentially).
+scanning the raw file skip-sequentially).  ``bulk_insert`` partitions the whole
+summary matrix with array operations — one vectorized root symbolization plus
+a lexsort-based grouping — while ``insert`` keeps the per-series path for
+appends after the initial load.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ...summarization.sax import IsaxSummarizer, SaxWord
+from ...core.soa import group_values
+from ...summarization.sax import (
+    IsaxSummarizer,
+    SaxWord,
+    group_rows,
+    symbolize_batch,
+)
 from ..isax.node import IsaxNode
 
 __all__ = ["AdsTree"]
@@ -29,9 +38,28 @@ class AdsTree:
         self.root = IsaxNode(word=None, depth=0, is_leaf=False)
 
     # -- construction -----------------------------------------------------------
-    def bulk_insert(self, paa: np.ndarray) -> None:
-        for position in range(paa.shape[0]):
-            self.insert(position, paa[position])
+    def bulk_insert(self, paa: np.ndarray, positions: np.ndarray | None = None) -> None:
+        """Bulk-load the tree from a whole ``(series, segments)`` PAA matrix.
+
+        Root words are symbolized in one batch call, positions are grouped per
+        root child with a single lexsort, and overflowing leaves split through
+        the same block-level machinery as :meth:`insert` — no per-series loop.
+        """
+        if positions is None:
+            positions = np.arange(paa.shape[0], dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+        base_cards = tuple([2] * self.segments)
+        root_words = symbolize_batch(paa, 2)
+        for key, idx in group_rows(root_words):
+            child = self.root.children.get(key)
+            if child is None:
+                word = SaxWord(symbols=key, cardinalities=base_cards)
+                child = IsaxNode(word=word, depth=1, is_leaf=True, parent=self.root)
+                self.root.children[key] = child
+            child.add_block(positions[idx], paa[idx])
+            if child.size > self.leaf_capacity:
+                self._split_leaf(child)
 
     def insert(self, position: int, paa: np.ndarray) -> None:
         key = self._root_key(paa)
@@ -66,7 +94,13 @@ class AdsTree:
         return children[int(np.argmin(bounds))]
 
     def _split_leaf(self, node: IsaxNode) -> None:
-        paa = np.vstack(node.paa_values)
+        """Redistribute an overflowing leaf one cardinality level deeper.
+
+        Operates on the leaf's whole payload block: the split segment's column
+        is re-symbolized at doubled cardinality in one call and each child
+        adopts its position block contiguously.
+        """
+        paa = node.paa_block()
         spread = paa.std(axis=0)
         order = np.argsort(-spread)
         segment = None
@@ -76,20 +110,28 @@ class AdsTree:
                 break
         if segment is None:
             return
+        positions = node.position_block()
         node.is_leaf = False
         node.split_segment = segment
-        positions = node.positions
-        paa_values = node.paa_values
         node.clear_payload()
-        for position, values in zip(positions, paa_values):
-            word = node.word.promote(segment, float(values[segment]))
+
+        card = node.word.cardinalities[segment] * 2
+        symbols = symbolize_batch(paa[:, segment], card)
+        base_symbols = list(node.word.symbols)
+        cards = list(node.word.cardinalities)
+        cards[segment] = card
+        cardinalities = tuple(cards)
+        for symbol, idx in group_values(symbols):
+            child_symbols = base_symbols.copy()
+            child_symbols[segment] = int(symbol)
+            word = SaxWord(symbols=tuple(child_symbols), cardinalities=cardinalities)
             child = node.children.get(word.symbols)
             if child is None:
                 child = IsaxNode(
                     word=word, depth=node.depth + 1, is_leaf=True, parent=node
                 )
                 node.children[word.symbols] = child
-            child.add(position, values)
+            child.add_block(positions[idx], paa[idx])
         for child in node.children.values():
             if child.size > self.leaf_capacity:
                 self._split_leaf(child)

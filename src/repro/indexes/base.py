@@ -83,9 +83,14 @@ class SearchMethod(abc.ABC):
     is_index: bool = True
     #: whether the method supports ng-approximate search.
     supports_approximate: bool = False
+    #: whether the method implements an array-native bulk-load constructor.
+    supports_bulk_build: bool = False
 
-    def __init__(self, store: SeriesStore) -> None:
+    def __init__(self, store: SeriesStore, build_mode: str = "bulk") -> None:
+        if build_mode not in ("bulk", "incremental"):
+            raise ValueError("build_mode must be 'bulk' or 'incremental'")
         self.store = store
+        self.build_mode = build_mode
         self.index_stats = IndexStats(method=self.name)
         self._built = False
 
@@ -105,9 +110,36 @@ class SearchMethod(abc.ABC):
         self._built = True
         return self.index_stats
 
-    @abc.abstractmethod
     def _build(self) -> None:
-        """Method-specific construction."""
+        """Method-specific construction.
+
+        The default dispatches to the array-native :meth:`_bulk_build` when
+        the method implements one (``supports_bulk_build``) and the caller did
+        not force ``build_mode="incremental"``; otherwise it falls back to the
+        per-series :meth:`_incremental_build` loop.  Methods without a
+        bulk/incremental distinction simply override :meth:`_build` directly.
+        """
+        if self.supports_bulk_build and self.build_mode == "bulk":
+            self._bulk_build()
+        else:
+            self._incremental_build()
+
+    def _bulk_build(self) -> None:
+        """Array-native bulk construction (tree methods override this)."""
+        raise NotImplementedError(f"{self.name} has no bulk-load constructor")
+
+    def _incremental_build(self) -> None:
+        """Per-series insert-loop construction (the bulk loaders' fallback)."""
+        raise NotImplementedError(f"{self.name} does not implement construction")
+
+    def append(self, position: int) -> None:
+        """Insert one more series from the store into a *built* index.
+
+        Bulk loading covers the initial collection; methods that maintain an
+        incremental insert path expose it here so series appended to the store
+        after construction become searchable without a rebuild.
+        """
+        raise NotImplementedError(f"{self.name} does not support appends")
 
     def _collect_footprint(self) -> None:
         """Populate node counts / sizes in :attr:`index_stats` (optional)."""

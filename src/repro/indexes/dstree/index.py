@@ -1,14 +1,17 @@
 """DSTree: a data-adaptive and dynamic segmentation index (EAPCA-based).
 
-The DSTree inserts series one at a time.  Every node keeps an EAPCA synopsis
-(per-segment ranges of means and standard deviations) over its own
-segmentation.  When a leaf overflows it evaluates a set of candidate split
-policies — horizontal splits on a segment's mean or standard deviation, and
-vertical splits that first refine the segmentation — and picks the policy with
-the best expected separation (the heuristic role played by the upper/lower
-bound based quality measure in the original paper).  Query answering uses the
-node synopsis lower bound to prune subtrees, giving the paper's observed
-behaviour: expensive (CPU-heavy) index construction, very fast queries.
+Every node keeps an EAPCA synopsis (per-segment ranges of means and standard
+deviations) over its own segmentation.  Construction is bulk-loaded by
+default: the whole collection lands in the root and overflowing nodes are
+split recursively, with candidate split policies — horizontal splits on a
+segment's mean or standard deviation, and vertical splits that first refine
+the segmentation — scored from vectorized per-segment statistics over the full
+candidate block; the policy with the best expected separation wins (the
+heuristic role played by the upper/lower bound based quality measure in the
+original paper).  The per-series insert path is retained (``append``) for
+series added after the initial load.  Query answering uses the node synopsis
+lower bound to prune subtrees, giving the paper's observed behaviour:
+expensive (CPU-heavy) index construction, very fast queries.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
 from ...summarization.eapca import (
     NodeSynopsis,
+    batch_segment_statistics,
     query_segment_stats,
     synopses_lower_bounds,
 )
@@ -49,10 +53,15 @@ class DsTreeIndex(SearchMethod):
         Cap on how far vertical splits may refine the segmentation.
     buffer_capacity:
         Optional in-memory buffer budget (in series) during construction.
+    build_mode:
+        ``"bulk"`` (default) recursively partitions whole position blocks;
+        ``"incremental"`` forces the legacy one-series-at-a-time insert loop
+        (the two produce query-equivalent trees).
     """
 
     name = "dstree"
     supports_approximate = True
+    supports_bulk_build = True
 
     def __init__(
         self,
@@ -61,8 +70,9 @@ class DsTreeIndex(SearchMethod):
         leaf_capacity: int = 100,
         max_segments: int | None = None,
         buffer_capacity: int | None = None,
+        build_mode: str = "bulk",
     ) -> None:
-        super().__init__(store)
+        super().__init__(store, build_mode=build_mode)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         initial_segments = max(1, min(initial_segments, store.length))
@@ -84,16 +94,35 @@ class DsTreeIndex(SearchMethod):
         return boundaries
 
     # -- construction ----------------------------------------------------------------
-    def _build(self) -> None:
-        data = self.store.scan()
-        self._buffer = BufferPool(
+    def _make_buffer(self) -> BufferPool:
+        return BufferPool(
             capacity_series=self.buffer_capacity,
             series_bytes=self.store.series_bytes,
             counter=self.store.counter,
             page_series=self.store.series_per_page,
         )
+
+    def _incremental_build(self) -> None:
+        data = self.store.scan()
+        self._buffer = self._make_buffer()
         for position in range(self.store.count):
             self._insert(position, data[position].astype(np.float64))
+        self._buffer.flush_all()
+
+    def _bulk_build(self) -> None:
+        """Array-native construction: the whole collection lands in the root,
+        then overflowing nodes split recursively on vectorized block
+        statistics — the per-series routing loop never runs."""
+        data = self.store.scan()
+        self._buffer = self._make_buffer()
+        root = self.root
+        root.positions.extend(np.arange(self.store.count, dtype=np.int64))
+        root.synopsis = NodeSynopsis.from_series(
+            np.asarray(data, dtype=np.float64), root.boundaries
+        )
+        self._buffer.add(id(root), root.size)
+        if root.size > self.leaf_capacity:
+            self._split_leaf(root)
         self._buffer.flush_all()
 
     def _insert(self, position: int, series: np.ndarray) -> None:
@@ -103,6 +132,10 @@ class DsTreeIndex(SearchMethod):
                 node.synopsis = NodeSynopsis.from_series(series, node.boundaries)
             else:
                 node.synopsis.update(series)
+            # The child synopsis about to be updated is stacked inside this
+            # node's cached bound matrices; queries interleaved with appends
+            # must not prune against the stale (tighter) ranges.
+            node._child_bound_cache = None
             node = node.route(series)
         if node.synopsis is None:
             node.synopsis = NodeSynopsis.from_series(series, node.boundaries)
@@ -113,33 +146,80 @@ class DsTreeIndex(SearchMethod):
         if node.size > self.leaf_capacity:
             self._split_leaf(node)
 
+    def append(self, position: int) -> None:
+        """Insert one more series from the store into the built index.
+
+        This is the retained incremental path: bulk loading covers the initial
+        collection, appends route through the same per-series machinery and
+        keep the tree query-equivalent.
+        """
+        self._require_built()
+        if self._buffer is None or self._buffer.counter is not self.store.counter:
+            # Rebuild the pool when the store was re-attached (persistence
+            # reload, grown collection) so spill I/O lands on the live counter.
+            self._buffer = self._make_buffer()
+        series = np.asarray(self.store.peek(position), dtype=np.float64)
+        self._insert(position, series)
+        # Appends settle immediately: unlike a build there is no later
+        # flush_all, so leaving the series buffered would accumulate phantom
+        # in-memory state (and eventually spurious spill accounting).
+        self._buffer.flush_all()
+
     # -- splitting ----------------------------------------------------------------------
-    def _candidate_policies(self, node: DsTreeNode, data: np.ndarray) -> list[SplitPolicy]:
-        policies: list[SplitPolicy] = []
+    def _candidate_policies(
+        self, node: DsTreeNode, data: np.ndarray
+    ) -> list[tuple[SplitPolicy, np.ndarray]]:
+        """Candidate split policies with their per-series feature vectors.
+
+        The per-segment mean/std statistics are computed once for the whole
+        candidate block; every policy carries the feature vector it splits on,
+        so scoring and redistribution reuse it instead of re-slicing the raw
+        data per policy.
+        """
+        policies: list[tuple[SplitPolicy, np.ndarray]] = []
         boundaries = node.boundaries
         segments = len(boundaries) - 1
+        means, stds = batch_segment_statistics(data, boundaries)
         for segment in range(segments):
-            chunk = data[:, boundaries[segment] : boundaries[segment + 1]]
-            means = chunk.mean(axis=1)
-            stds = chunk.std(axis=1)
+            seg_means = means[:, segment]
+            seg_stds = stds[:, segment]
             policies.append(
-                SplitPolicy(kind="mean", segment=segment, threshold=float(np.median(means)))
+                (
+                    SplitPolicy(
+                        kind="mean",
+                        segment=segment,
+                        threshold=float(np.median(seg_means)),
+                    ),
+                    seg_means,
+                )
             )
             policies.append(
-                SplitPolicy(kind="std", segment=segment, threshold=float(np.median(stds)))
+                (
+                    SplitPolicy(
+                        kind="std",
+                        segment=segment,
+                        threshold=float(np.median(seg_stds)),
+                    ),
+                    seg_stds,
+                )
             )
             # Vertical split: subdivide this segment in half if allowed.
             width = boundaries[segment + 1] - boundaries[segment]
             if width >= 2 and segments < self.max_segments:
                 refined = self._refine_boundaries(boundaries, segment)
-                left_chunk = data[:, refined[segment] : refined[segment + 1]]
+                left_means = data[:, refined[segment] : refined[segment + 1]].mean(
+                    axis=1
+                )
                 policies.append(
-                    SplitPolicy(
-                        kind="mean",
-                        segment=segment,
-                        threshold=float(np.median(left_chunk.mean(axis=1))),
-                        vertical=True,
-                        child_boundaries=refined,
+                    (
+                        SplitPolicy(
+                            kind="mean",
+                            segment=segment,
+                            threshold=float(np.median(left_means)),
+                            vertical=True,
+                            child_boundaries=refined,
+                        ),
+                        left_means,
                     )
                 )
         return policies
@@ -153,9 +233,8 @@ class DsTreeIndex(SearchMethod):
             [boundaries[: segment + 1], [middle], boundaries[segment + 1 :]]
         ).astype(np.int64)
 
-    def _policy_quality(
-        self, policy: SplitPolicy, node: DsTreeNode, data: np.ndarray
-    ) -> float:
+    @staticmethod
+    def _policy_quality(values: np.ndarray, threshold: float) -> float:
         """Quality of a split: balance of the partition times the value spread.
 
         This plays the role of the QoS measure (derived from upper/lower
@@ -163,13 +242,7 @@ class DsTreeIndex(SearchMethod):
         split separates the series into two well-populated groups whose
         feature values are far apart.
         """
-        boundaries = policy.child_boundaries if policy.vertical else node.boundaries
-        start = boundaries[policy.segment]
-        stop = boundaries[policy.segment + 1]
-        chunk = data[:, start:stop]
-        values = chunk.mean(axis=1) if policy.kind == "mean" else chunk.std(axis=1)
-        left = values <= policy.threshold
-        left_count = int(left.sum())
+        left_count = int(np.count_nonzero(values <= threshold))
         right_count = values.shape[0] - left_count
         if left_count == 0 or right_count == 0:
             return -np.inf
@@ -178,37 +251,45 @@ class DsTreeIndex(SearchMethod):
         return balance * (1.0 + spread)
 
     def _split_leaf(self, node: DsTreeNode) -> None:
-        data = self.store.peek(np.asarray(node.positions)).astype(np.float64)
-        policies = self._candidate_policies(node, data)
-        scored = [(self._policy_quality(p, node, data), i, p) for i, p in enumerate(policies)]
+        """Split an overflowing node on its best candidate policy.
+
+        Works on the node's whole position block: policies are scored from
+        vectorized per-segment statistics, and the winning policy's feature
+        vector partitions the block with one mask — both children adopt their
+        positions contiguously and build their synopses from their block in
+        one call.  The bulk loader and the incremental insert path both funnel
+        splits through here.
+        """
+        positions = node.position_block()
+        data = self.store.peek(positions).astype(np.float64)
+        candidates = self._candidate_policies(node, data)
+        scored = [
+            (self._policy_quality(values, policy.threshold), i, policy, values)
+            for i, (policy, values) in enumerate(candidates)
+        ]
         scored.sort(key=lambda item: (-item[0], item[1]))
-        best_quality, _, best = scored[0]
+        best_quality, _, best, best_values = scored[0]
         if not np.isfinite(best_quality):
             # Every candidate split puts all series on one side; keep the leaf.
             return
 
         node.is_leaf = False
         node.policy = best
-        child_boundaries = (
-            best.child_boundaries if best.vertical else node.boundaries
-        )
+        child_boundaries = best.child_boundaries if best.vertical else node.boundaries
         node.left = DsTreeNode(
             boundaries=child_boundaries, depth=node.depth + 1, is_leaf=True, parent=node
         )
         node.right = DsTreeNode(
             boundaries=child_boundaries, depth=node.depth + 1, is_leaf=True, parent=node
         )
-        positions = node.positions
-        node.positions = []
+        node.clear_payload()
         self._buffer.flush(id(node))
-        for position, series in zip(positions, data):
-            child = node.route(series)
-            child.positions.append(position)
-            if child.synopsis is None:
-                child.synopsis = NodeSynopsis.from_series(series, child.boundaries)
-            else:
-                child.synopsis.update(series)
-            self._buffer.add(id(child))
+        left_mask = best_values <= best.threshold
+        for child, mask in ((node.left, left_mask), (node.right, ~left_mask)):
+            block = data[mask]
+            child.positions.extend(positions[mask])
+            child.synopsis = NodeSynopsis.from_series(block, child.boundaries)
+            self._buffer.add(id(child), child.size)
         for child in (node.left, node.right):
             if child.size > self.leaf_capacity:
                 self._split_leaf(child)
@@ -239,12 +320,13 @@ class DsTreeIndex(SearchMethod):
         answers: KnnAnswerSet,
         stats: QueryStats,
     ) -> None:
-        if not node.positions:
+        if node.size == 0:
             return
-        block = self.store.read_block(np.asarray(node.positions))
+        positions = node.position_block()
+        block = self.store.read_block(positions)
         distances = squared_euclidean_batch(query, block)
-        answers.offer_batch(np.asarray(node.positions), distances)
-        stats.series_examined += len(node.positions)
+        answers.offer_batch(positions, distances)
+        stats.series_examined += node.size
         stats.leaves_visited += 1
         stats.nodes_visited += 1
 
@@ -338,13 +420,14 @@ class DsTreeIndex(SearchMethod):
             node = stack.pop()
             stats.nodes_visited += 1
             if node.is_leaf:
-                if not node.positions:
+                if node.size == 0:
                     continue
-                block = self.store.read_block(np.asarray(node.positions))
+                positions = node.position_block()
+                block = self.store.read_block(positions)
                 distances = squared_euclidean_batch(query, block)
-                stats.series_examined += len(node.positions)
+                stats.series_examined += node.size
                 stats.leaves_visited += 1
-                answers.offer_batch(np.asarray(node.positions), distances)
+                answers.offer_batch(positions, distances)
                 continue
             for child, bound in self._children_bounds(node, stats_for):
                 stats.lower_bounds_computed += 1
@@ -358,5 +441,6 @@ class DsTreeIndex(SearchMethod):
             leaf_capacity=self.leaf_capacity,
             max_segments=self.max_segments,
             initial_segments=len(self.root.boundaries) - 1,
+            build_mode=self.build_mode,
         )
         return info

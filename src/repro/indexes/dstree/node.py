@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core.soa import GrowableArray, position_vector
 from ...summarization.eapca import NodeSynopsis
 
 __all__ = ["DsTreeNode", "SplitPolicy"]
@@ -39,25 +40,35 @@ class DsTreeNode:
 
     Every node owns a segmentation (``boundaries``) and a
     :class:`~repro.summarization.eapca.NodeSynopsis` over the series routed
-    through it.  Leaves additionally hold the positions of their series.
+    through it.  Leaves additionally hold the positions of their series in a
+    contiguous :class:`~repro.core.soa.GrowableArray`, so leaf scans hand the
+    store one ready-made integer vector and splits move whole blocks.
     """
 
     boundaries: np.ndarray
     depth: int = 0
     is_leaf: bool = True
-    positions: list[int] = field(default_factory=list)
+    positions: GrowableArray = field(default_factory=position_vector)
     synopsis: NodeSynopsis | None = None
     policy: SplitPolicy | None = None
     left: "DsTreeNode | None" = None
     right: "DsTreeNode | None" = None
     parent: "DsTreeNode | None" = None
     #: cached (children, stacked synopsis ranges) for the batch lower-bound
-    #: kernel; built lazily at query time (the tree is static after build()).
+    #: kernel; built lazily at query time and invalidated by the insert path
+    #: (appends update child synopses in place, widening the stacked ranges).
     _child_bound_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    def position_block(self) -> np.ndarray:
+        """The leaf's positions as one contiguous int64 vector (read-only)."""
+        return self.positions.data
+
+    def clear_payload(self) -> None:
+        self.positions.clear()
 
     def child_bound_arrays(self) -> tuple:
         """Children owning a synopsis plus their stacked range matrices.
@@ -65,8 +76,8 @@ class DsTreeNode:
         Returns ``(children, stacked)`` where ``stacked`` feeds
         :func:`~repro.summarization.eapca.synopses_lower_bounds`.  Both
         children of a DSTree split share one segmentation, so a single batch
-        call bounds the pair.  Cached on the node; the tree does not change
-        after construction.
+        call bounds the pair.  Cached on the node; appends invalidate the
+        cache along their insert path (child synopses mutate in place).
         """
         from ...summarization.eapca import stack_synopses
 

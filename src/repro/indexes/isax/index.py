@@ -3,10 +3,16 @@
 The index partitions the collection by iSAX words.  The root fans out on the
 word at base cardinality (2 symbols per segment); when a leaf overflows, one
 segment's cardinality is doubled and the leaf's series are redistributed among
-the two resulting children (binary splits, as in iSAX 2.0/2+).  Query answering
-follows the protocol in the paper: an ng-approximate descent to a single leaf
-establishes the best-so-far, after which an exact traversal visits only the
-nodes whose MINDIST lower bound is below the best-so-far.
+the two resulting children (binary splits, as in iSAX 2.0/2+).  Construction
+is bulk-loaded by default, mirroring iSAX2+'s defining contribution: all SAX
+words are computed in one batch transform, positions are partitioned per root
+word with one ``np.lexsort``, and overflowing leaves re-symbolize only the
+split segment at doubled cardinality over whole position blocks — no per-series
+Python inserts.  The per-series ``_insert`` path is retained (``append``) for
+series added after the initial load.  Query answering follows the protocol in
+the paper: an ng-approximate descent to a single leaf establishes the
+best-so-far, after which an exact traversal visits only the nodes whose
+MINDIST lower bound is below the best-so-far.
 """
 
 from __future__ import annotations
@@ -19,9 +25,15 @@ import numpy as np
 from ...core.answers import KnnAnswerSet, RangeAnswerSet
 from ...core.buffer import BufferPool
 from ...core.distance import squared_euclidean_batch
+from ...core.soa import group_values
 from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
-from ...summarization.sax import IsaxSummarizer, SaxWord
+from ...summarization.sax import (
+    IsaxSummarizer,
+    SaxWord,
+    group_rows,
+    symbolize_batch,
+)
 from ..base import SearchMethod
 from .node import IsaxNode
 
@@ -45,10 +57,15 @@ class Isax2PlusIndex(SearchMethod):
     buffer_capacity:
         Optional in-memory buffer budget (in series) used during construction;
         exceeding it triggers simulated spills.
+    build_mode:
+        ``"bulk"`` (default) partitions the whole collection with array
+        operations; ``"incremental"`` forces the legacy one-series-at-a-time
+        insert loop (the two produce query-equivalent trees).
     """
 
     name = "isax2+"
     supports_approximate = True
+    supports_bulk_build = True
 
     def __init__(
         self,
@@ -57,8 +74,9 @@ class Isax2PlusIndex(SearchMethod):
         cardinality: int = 256,
         leaf_capacity: int = 100,
         buffer_capacity: int | None = None,
+        build_mode: str = "bulk",
     ) -> None:
-        super().__init__(store)
+        super().__init__(store, build_mode=build_mode)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         segments = min(segments, store.length)
@@ -71,17 +89,47 @@ class Isax2PlusIndex(SearchMethod):
         self._buffer: BufferPool | None = None
 
     # -- construction -------------------------------------------------------------
-    def _build(self) -> None:
-        data = self.store.scan()  # one sequential pass to summarize the raw file
-        paa = self.summarizer.paa.transform_batch(data)
-        self._buffer = BufferPool(
+    def _make_buffer(self) -> BufferPool:
+        return BufferPool(
             capacity_series=self.buffer_capacity,
             series_bytes=self.store.series_bytes,
             counter=self.store.counter,
             page_series=self.store.series_per_page,
         )
+
+    def _prepare_build(self) -> np.ndarray:
+        data = self.store.scan()  # one sequential pass to summarize the raw file
+        paa = self.summarizer.paa.transform_batch(data)
+        self._buffer = self._make_buffer()
+        return paa
+
+    def _incremental_build(self) -> None:
+        paa = self._prepare_build()
         for position in range(self.store.count):
             self._insert(position, paa[position])
+        self._buffer.flush_all()
+
+    def _bulk_build(self) -> None:
+        """Array-native construction: batch summarize, partition, recurse.
+
+        All root words (cardinality 2 per segment) come from one vectorized
+        symbolization; ``group_rows`` lexsorts the word matrix once to hand
+        each root child its whole position block, and overflowing leaves are
+        then split recursively with the same slice-and-mask machinery the
+        incremental path uses — no per-series Python routing anywhere.
+        """
+        paa = self._prepare_build()
+        positions = np.arange(self.store.count, dtype=np.int64)
+        root_words = symbolize_batch(paa, 2)
+        base_cards = tuple([2] * self.segments)
+        for key, idx in group_rows(root_words):
+            word = SaxWord(symbols=key, cardinalities=base_cards)
+            child = IsaxNode(word=word, depth=1, is_leaf=True, parent=self.root)
+            self.root.children[key] = child
+            child.add_block(positions[idx], paa[idx])
+            self._buffer.add(id(child), child.size)
+            if child.size > self.leaf_capacity:
+                self._split_leaf(child)
         self._buffer.flush_all()
 
     def _root_key(self, paa: np.ndarray) -> tuple:
@@ -103,10 +151,28 @@ class Isax2PlusIndex(SearchMethod):
         if node.size > self.leaf_capacity:
             self._split_leaf(node)
 
+    def append(self, position: int) -> None:
+        """Insert one more series from the store into the built index.
+
+        This is the retained incremental path: bulk loading covers the initial
+        collection, appends go through the same per-series routing/splitting
+        machinery and produce a query-equivalent tree.
+        """
+        self._require_built()
+        if self._buffer is None or self._buffer.counter is not self.store.counter:
+            # Rebuild the pool when the store was re-attached (persistence
+            # reload, grown collection) so spill I/O lands on the live counter.
+            self._buffer = self._make_buffer()
+        series = np.asarray(self.store.peek(position), dtype=np.float64)
+        self._insert(position, self.summarizer.paa.transform(series))
+        # Appends settle immediately: unlike a build there is no later
+        # flush_all, so leaving the series buffered would accumulate phantom
+        # in-memory state (and eventually spurious spill accounting).
+        self._buffer.flush_all()
+
     def _route(self, node: IsaxNode, paa: np.ndarray) -> IsaxNode:
         """Choose the child of an internal node for a series with PAA ``paa``."""
         segment = node.split_segment
-        card = node.word.cardinalities[segment] * 2
         word = node.word.promote(segment, float(paa[segment]))
         key = word.symbols
         child = node.children.get(key)
@@ -123,8 +189,7 @@ class Isax2PlusIndex(SearchMethod):
     def _choose_split_segment(self, node: IsaxNode) -> int | None:
         """Pick the segment to promote: the one with the highest PAA spread that
         can still be refined (cardinality below the maximum)."""
-        paa = np.vstack(node.paa_values)
-        spread = paa.std(axis=0)
+        spread = node.paa_block().std(axis=0)
         order = np.argsort(-spread)
         for segment in order:
             if node.word.cardinalities[int(segment)] < self.cardinality:
@@ -132,18 +197,35 @@ class Isax2PlusIndex(SearchMethod):
         return None
 
     def _split_leaf(self, node: IsaxNode) -> None:
+        """Split an overflowing leaf by promoting one segment.
+
+        Works on the leaf's whole payload block: one vectorized symbolization
+        of the split-segment column at doubled cardinality, one stable argsort
+        to group positions per child word, then contiguous block adoption per
+        child.  Both the bulk loader and the incremental insert path funnel
+        their splits through here.
+        """
         segment = self._choose_split_segment(node)
         if segment is None:
             # Maximum resolution reached on every segment; the leaf overflows.
             return
+        positions = node.position_block()
+        paa = node.paa_block()
         node.is_leaf = False
         node.split_segment = segment
-        positions = node.positions
-        paa_values = node.paa_values
         node.clear_payload()
         self._buffer.flush(id(node))
-        for position, paa in zip(positions, paa_values):
-            word = node.word.promote(segment, float(paa[segment]))
+
+        card = node.word.cardinalities[segment] * 2
+        symbols = symbolize_batch(paa[:, segment], card)
+        base_symbols = list(node.word.symbols)
+        cards = list(node.word.cardinalities)
+        cards[segment] = card
+        cardinalities = tuple(cards)
+        for symbol, idx in group_values(symbols):
+            child_symbols = base_symbols.copy()
+            child_symbols[segment] = int(symbol)
+            word = SaxWord(symbols=tuple(child_symbols), cardinalities=cardinalities)
             key = word.symbols
             child = node.children.get(key)
             if child is None:
@@ -151,8 +233,8 @@ class Isax2PlusIndex(SearchMethod):
                     word=word, depth=node.depth + 1, is_leaf=True, parent=node
                 )
                 node.children[key] = child
-            child.add(position, paa)
-            self._buffer.add(id(child))
+            child.add_block(positions[idx], paa[idx])
+            self._buffer.add(id(child), int(idx.size))
         for child in node.children.values():
             if child.size > self.leaf_capacity:
                 self._split_leaf(child)
@@ -196,12 +278,13 @@ class Isax2PlusIndex(SearchMethod):
     def _scan_leaf(
         self, node: IsaxNode, query: np.ndarray, answers: KnnAnswerSet, stats: QueryStats
     ) -> None:
-        if not node.positions:
+        if node.size == 0:
             return
-        block = self.store.read_block(np.asarray(node.positions))
+        positions = node.position_block()
+        block = self.store.read_block(positions)
         distances = squared_euclidean_batch(query, block)
-        answers.offer_batch(np.asarray(node.positions), distances)
-        stats.series_examined += len(node.positions)
+        answers.offer_batch(positions, distances)
+        stats.series_examined += node.size
         stats.leaves_visited += 1
         stats.nodes_visited += 1
 
@@ -279,13 +362,14 @@ class Isax2PlusIndex(SearchMethod):
             node = stack.pop()
             stats.nodes_visited += 1
             if node.is_leaf:
-                if not node.positions:
+                if node.size == 0:
                     continue
-                block = self.store.read_block(np.asarray(node.positions))
+                positions = node.position_block()
+                block = self.store.read_block(positions)
                 distances = squared_euclidean_batch(query, block)
-                stats.series_examined += len(node.positions)
+                stats.series_examined += node.size
                 stats.leaves_visited += 1
-                answers.offer_batch(np.asarray(node.positions), distances)
+                answers.offer_batch(positions, distances)
                 continue
             stack.extend(in_range_children(node))
         return answers
@@ -296,5 +380,6 @@ class Isax2PlusIndex(SearchMethod):
             segments=self.segments,
             cardinality=self.cardinality,
             leaf_capacity=self.leaf_capacity,
+            build_mode=self.build_mode,
         )
         return info

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core.soa import GrowableArray, position_vector
 from ...summarization.sax import SaxWord
 
 __all__ = ["IsaxNode"]
@@ -17,16 +18,21 @@ class IsaxNode:
 
     A node is identified by its :class:`SaxWord` (per-segment symbols at
     per-segment cardinalities).  Leaves hold the positions of the series they
-    contain along with the PAA values needed to re-split.
+    contain along with the PAA values needed to re-split.  Both payloads are
+    stored structure-of-arrays style in contiguous
+    :class:`~repro.core.soa.GrowableArray` buffers, so a leaf scan hands the
+    store one ready-made integer vector and a split re-symbolizes one matrix
+    column instead of looping over per-series arrays.
     """
 
     word: SaxWord | None
     depth: int = 0
     is_leaf: bool = True
     #: positions of the series stored in this leaf (empty for internal nodes).
-    positions: list[int] = field(default_factory=list)
-    #: PAA values of those series (kept so splits can re-symbolize).
-    paa_values: list[np.ndarray] = field(default_factory=list)
+    positions: GrowableArray = field(default_factory=position_vector)
+    #: PAA rows of those series (kept so splits can re-symbolize); created
+    #: lazily on the first add because the segment count is not known here.
+    paa_values: GrowableArray | None = None
     #: children keyed by their word symbols tuple.
     children: dict = field(default_factory=dict)
     #: the segment whose cardinality was doubled to create this node's children.
@@ -60,13 +66,35 @@ class IsaxNode:
             self._child_cache = cache
         return cache
 
+    # -- payload ------------------------------------------------------------------
+    def position_block(self) -> np.ndarray:
+        """The leaf's positions as one contiguous int64 vector (read-only)."""
+        return self.positions.data
+
+    def paa_block(self) -> np.ndarray:
+        """The leaf's PAA rows as one contiguous ``(size, segments)`` matrix."""
+        if self.paa_values is None:
+            return np.empty((0, 0), dtype=np.float64)
+        return self.paa_values.data
+
     def add(self, position: int, paa: np.ndarray) -> None:
+        if self.paa_values is None:
+            self.paa_values = GrowableArray(width=len(paa))
         self.positions.append(position)
         self.paa_values.append(paa)
 
+    def add_block(self, positions: np.ndarray, paa_block: np.ndarray) -> None:
+        """Adopt a whole block of series in two contiguous array copies."""
+        if len(positions) == 0:
+            return
+        if self.paa_values is None:
+            self.paa_values = GrowableArray(width=paa_block.shape[1])
+        self.positions.extend(positions)
+        self.paa_values.extend(paa_block)
+
     def clear_payload(self) -> None:
-        self.positions = []
-        self.paa_values = []
+        self.positions.clear()
+        self.paa_values = None
 
     def iter_nodes(self):
         """Pre-order traversal of the subtree rooted at this node."""

@@ -5,8 +5,12 @@ coefficient breakpoints).  The trie groups series by word prefix: the root's
 children branch on the first symbol, and when a leaf overflows, its series are
 redistributed one level deeper — i.e. the word is extended by one more DFT
 coefficient, which is the "vertical" splitting style the paper contrasts with
-SAX-based horizontal splits.  The lower bound used for pruning is the SFA cell
-distance restricted to the prefix available at a node.
+SAX-based horizontal splits.  Construction is bulk-loaded by default: the
+batch-transformed word matrix is radix-grouped by prefix (one lexsort, then
+contiguous runs per trie level), so the per-series insert loop never runs; the
+incremental path is retained (``append``) for series added after the initial
+load.  The lower bound used for pruning is the SFA cell distance restricted to
+the prefix available at a node.
 """
 
 from __future__ import annotations
@@ -19,9 +23,10 @@ import numpy as np
 
 from ...core.answers import KnnAnswerSet
 from ...core.distance import squared_euclidean_batch
+from ...core.soa import GrowableArray, group_values, position_vector
 from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
-from ...summarization.sfa import SfaSummarizer
+from ...summarization.sfa import SfaSummarizer, lexicographic_order, prefix_groups
 from ..base import SearchMethod
 
 __all__ = ["SfaTrieIndex", "SfaTrieNode"]
@@ -34,7 +39,8 @@ class SfaTrieNode:
     prefix: tuple
     depth: int
     is_leaf: bool = True
-    positions: list[int] = field(default_factory=list)
+    #: positions of the series in this leaf, stored as one contiguous vector.
+    positions: GrowableArray = field(default_factory=position_vector)
     children: dict = field(default_factory=dict)
     #: cached (children, prefix matrix) for the batch prefix bound; children
     #: are append-only, so the count is a sufficient cache key.
@@ -43,6 +49,13 @@ class SfaTrieNode:
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    def position_block(self) -> np.ndarray:
+        """The leaf's positions as one contiguous int64 vector (read-only)."""
+        return np.asarray(self.positions, dtype=np.int64)
+
+    def clear_payload(self) -> None:
+        self.positions.clear()
 
     def child_arrays(self) -> tuple:
         """The node's children plus their stacked prefix matrix.
@@ -91,10 +104,15 @@ class SfaTrieIndex(SearchMethod):
         few and its pruning ratio is comparatively low).
     sample_size:
         Number of series sampled to learn the MCB breakpoints.
+    build_mode:
+        ``"bulk"`` (default) radix-groups the word matrix per prefix level;
+        ``"incremental"`` forces the per-series insert loop (the two produce
+        identical tries).
     """
 
     name = "sfa-trie"
     supports_approximate = True
+    supports_bulk_build = True
 
     def __init__(
         self,
@@ -104,8 +122,9 @@ class SfaTrieIndex(SearchMethod):
         binning: str = "equi-depth",
         leaf_capacity: int = 1000,
         sample_size: int = 2048,
+        build_mode: str = "bulk",
     ) -> None:
-        super().__init__(store)
+        super().__init__(store, build_mode=build_mode)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         coefficients = min(coefficients, store.length)
@@ -120,13 +139,60 @@ class SfaTrieIndex(SearchMethod):
         self._words: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------------------
-    def _build(self) -> None:
+    def _summarize_collection(self) -> None:
         data = self.store.scan()
         sample_count = min(self.sample_size, self.store.count)
         self.summarizer.fit(data[:sample_count])
         self._words = self.summarizer.transform_batch(data)
+
+    def _incremental_build(self) -> None:
+        self._summarize_collection()
         for position in range(self.store.count):
             self._insert(position, self._words[position])
+
+    def _bulk_build(self) -> None:
+        """Array-native construction: radix-group the word matrix by prefix.
+
+        One lexsort orders every word; each trie level then partitions its
+        (already sorted) run on the next symbol column via contiguous group
+        boundaries, descending only where a run exceeds the leaf capacity.
+        """
+        self._summarize_collection()
+        order = lexicographic_order(self._words)
+        self._radix_fill(self.root, order)
+
+    def _radix_fill(self, node: SfaTrieNode, order: np.ndarray) -> None:
+        for symbol, sub_order in prefix_groups(self._words, order, node.depth):
+            key = node.prefix + (symbol,)
+            child = SfaTrieNode(prefix=key, depth=node.depth + 1, is_leaf=True)
+            node.children[key] = child
+            if sub_order.size > self.leaf_capacity and child.depth < self.coefficients:
+                child.is_leaf = False
+                self._radix_fill(child, sub_order)
+            else:
+                # Stable lexsort keeps positions ascending within one word;
+                # across the words of a leaf they must be re-sorted to match
+                # the arrival order of the incremental path.
+                child.positions.extend(np.sort(sub_order))
+
+    def append(self, position: int) -> None:
+        """Insert one more series from the store into the built index.
+
+        Recomputes the series' SFA word with the breakpoints learned at build
+        time, grows the word matrix splits consult (an O(n) array append —
+        batch appends should prefer a rebuild), and routes the series through
+        the retained per-series insert.
+        """
+        self._require_built()
+        if position != self._words.shape[0]:
+            raise ValueError(
+                f"appends must be contiguous: expected position "
+                f"{self._words.shape[0]}, got {position}"
+            )
+        series = np.asarray(self.store.peek(position), dtype=np.float64)
+        word = self.summarizer.transform(series)
+        self._words = np.vstack([self._words, word[np.newaxis, :]])
+        self._insert(position, self._words[position])
 
     def _insert(self, position: int, word: np.ndarray) -> None:
         key = (int(word[0]),)
@@ -150,13 +216,22 @@ class SfaTrieIndex(SearchMethod):
         return child
 
     def _split_leaf(self, node: SfaTrieNode) -> None:
+        """Redistribute an overflowing leaf one prefix level deeper.
+
+        Partitions the leaf's position block by the next symbol column in one
+        vectorized grouping instead of re-routing series one at a time.
+        """
+        positions = node.position_block()
         node.is_leaf = False
-        positions = node.positions
-        node.positions = []
-        for position in positions:
-            word = self._words[position]
-            child = self._route(node, word)
-            child.positions.append(position)
+        node.clear_payload()
+        symbols = self._words[positions, node.depth]
+        for symbol, idx in group_values(symbols):
+            key = node.prefix + (int(symbol),)
+            child = node.children.get(key)
+            if child is None:
+                child = SfaTrieNode(prefix=key, depth=node.depth + 1, is_leaf=True)
+                node.children[key] = child
+            child.positions.extend(positions[idx])
         for child in node.children.values():
             if child.size > self.leaf_capacity and child.depth < self.coefficients:
                 self._split_leaf(child)
@@ -220,12 +295,13 @@ class SfaTrieIndex(SearchMethod):
         answers: KnnAnswerSet,
         stats: QueryStats,
     ) -> None:
-        if not node.positions:
+        if node.size == 0:
             return
-        block = self.store.read_block(np.asarray(node.positions))
+        positions = node.position_block()
+        block = self.store.read_block(positions)
         distances = squared_euclidean_batch(query, block)
-        answers.offer_batch(np.asarray(node.positions), distances)
-        stats.series_examined += len(node.positions)
+        answers.offer_batch(positions, distances)
+        stats.series_examined += node.size
         stats.leaves_visited += 1
         stats.nodes_visited += 1
 
@@ -283,5 +359,6 @@ class SfaTrieIndex(SearchMethod):
             alphabet_size=self.alphabet_size,
             binning=self.summarizer.binning,
             leaf_capacity=self.leaf_capacity,
+            build_mode=self.build_mode,
         )
         return info

@@ -19,6 +19,7 @@ __all__ = [
     "EapcaSummarizer",
     "SegmentSynopsis",
     "NodeSynopsis",
+    "batch_segment_statistics",
     "query_segment_stats",
     "stack_synopses",
     "synopses_lower_bounds",
@@ -38,6 +39,28 @@ def _segment_stats(series: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
         out[:, 2 * j] = chunk.mean(axis=1)
         out[:, 2 * j + 1] = chunk.std(axis=1)
     return out[0] if single else out
+
+
+def batch_segment_statistics(
+    data: np.ndarray, boundaries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``(means, stds)`` matrices of a series block.
+
+    Returns two ``(series, segments)`` float64 matrices using the same
+    ``np.mean``/``np.std`` arithmetic as the per-series paths, so bulk split
+    decisions and incremental routing agree to floating-point accuracy.  The
+    DSTree bulk loader scores every candidate split policy of a node from one
+    call over the node's whole position block.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    segments = len(boundaries) - 1
+    means = np.empty((arr.shape[0], segments), dtype=np.float64)
+    stds = np.empty((arr.shape[0], segments), dtype=np.float64)
+    for j in range(segments):
+        chunk = arr[:, boundaries[j] : boundaries[j + 1]]
+        means[:, j] = chunk.mean(axis=1)
+        stds[:, j] = chunk.std(axis=1)
+    return means, stds
 
 
 @dataclass

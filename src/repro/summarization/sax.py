@@ -21,6 +21,8 @@ __all__ = [
     "sax_breakpoints",
     "sax_region_edges",
     "stack_words",
+    "symbolize_batch",
+    "group_rows",
     "SaxWord",
     "IsaxSummarizer",
 ]
@@ -132,6 +134,38 @@ def _symbolize(paa_values: np.ndarray, cardinality: int) -> np.ndarray:
     """Map PAA values to symbols in ``[0, cardinality)`` (0 = lowest region)."""
     breakpoints = sax_breakpoints(cardinality)
     return np.searchsorted(breakpoints, paa_values, side="left").astype(np.int64)
+
+
+def symbolize_batch(paa_values: np.ndarray, cardinality: int) -> np.ndarray:
+    """Symbols of PAA values at one cardinality, for arrays of any shape.
+
+    The bulk loaders symbolize a whole ``(series, segments)`` PAA matrix (or
+    one segment column of it) in a single call — one ``searchsorted`` against
+    the cached breakpoints replaces millions of per-series conversions.
+    """
+    return _symbolize(np.asarray(paa_values, dtype=np.float64), cardinality)
+
+
+def group_rows(rows: np.ndarray):
+    """Group identical rows of an integer matrix, yielding position blocks.
+
+    Yields ``(key, indices)`` pairs where ``key`` is the row as a tuple of
+    ints and ``indices`` are the (ascending) row numbers carrying that key,
+    in lexicographic key order.  This is the array-native partitioning step of
+    the bulk loaders: one ``np.lexsort`` replaces a per-series dictionary
+    insert loop.  ``np.lexsort`` is stable, so indices stay ascending within
+    each group.
+    """
+    arr = np.atleast_2d(np.asarray(rows, dtype=np.int64))
+    if arr.shape[0] == 0:
+        return
+    order = np.lexsort(arr.T[::-1])
+    ordered = arr[order]
+    change = np.flatnonzero(np.any(ordered[1:] != ordered[:-1], axis=1)) + 1
+    starts = np.concatenate(([0], change, [order.size]))
+    for start, stop in zip(starts[:-1], starts[1:]):
+        key = tuple(int(v) for v in ordered[start])
+        yield key, order[start:stop]
 
 
 @dataclass(frozen=True)

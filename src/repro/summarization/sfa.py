@@ -16,7 +16,37 @@ import numpy as np
 from .base import Summarizer
 from .dft import DftSummarizer
 
-__all__ = ["SfaSummarizer"]
+__all__ = ["SfaSummarizer", "lexicographic_order", "prefix_groups"]
+
+
+def lexicographic_order(words: np.ndarray) -> np.ndarray:
+    """Stable lexicographic sort order of SFA words (first symbol primary).
+
+    One ``np.lexsort`` over the whole word matrix is the radix step of the
+    trie bulk loader: after sorting, every prefix group occupies a contiguous
+    run, so each trie level partitions its slice with :func:`prefix_groups`
+    instead of inserting words one at a time.  Stability keeps positions
+    ascending within identical words.
+    """
+    arr = np.atleast_2d(np.asarray(words, dtype=np.int64))
+    return np.lexsort(arr.T[::-1])
+
+
+def prefix_groups(words: np.ndarray, order: np.ndarray, depth: int):
+    """Split a lexicographically sorted index run by the symbol at ``depth``.
+
+    ``order`` indexes rows of ``words`` that share the first ``depth`` symbols
+    and are sorted lexicographically (a slice of :func:`lexicographic_order`).
+    Yields ``(symbol, sub_order)`` pairs in symbol order; each ``sub_order``
+    is itself sorted, so the trie recursion never re-sorts.
+    """
+    if order.size == 0:
+        return
+    column = np.asarray(words, dtype=np.int64)[order, depth]
+    change = np.flatnonzero(column[1:] != column[:-1]) + 1
+    starts = np.concatenate(([0], change, [order.size]))
+    for start, stop in zip(starts[:-1], starts[1:]):
+        yield int(column[start]), order[start:stop]
 
 
 class SfaSummarizer(Summarizer):

@@ -23,6 +23,40 @@ class TestBufferPool:
         assert pool.in_memory_series <= 100
         assert counter.random_accesses >= 2  # spill write + later re-read
 
+    def test_spill_charges_write_and_read_halves_separately(self):
+        counter = AccessCounter()
+        pool = BufferPool(capacity_series=50, series_bytes=128, counter=counter)
+        pool.add("a", 80)  # spills the whole buffer
+        assert pool.stats.series_spilled == 80
+        # One write (the spill) and one later re-read, each of 80 series.
+        assert counter.bytes_written == 80 * 128
+        assert counter.bytes_read == 80 * 128
+
+    def test_repeated_spills_spill_current_largest(self):
+        pool = BufferPool(capacity_series=30)
+        # Interleave adds and flushes so the heap accumulates stale entries.
+        pool.add("a", 10)
+        pool.add("b", 12)
+        pool.flush("b")
+        pool.add("c", 8)
+        pool.add("d", 11)  # 10 + 8 + 11 = 29, still under capacity
+        pool.add("e", 5)   # 34 > 30: the largest live buffer ("d") must spill
+        assert pool.buffered("d") == 0
+        assert pool.buffered("a") == 10
+        assert pool.buffered("c") == 8
+        assert pool.buffered("e") == 5
+
+    def test_many_buffers_spill_in_size_order(self):
+        pool = BufferPool(capacity_series=1000)
+        for node in range(100):
+            pool.add(node, node + 1)  # 5050 series total, forces many spills
+        # Largest-first spilling keeps only the smallest buffers resident.
+        survivors = sorted(
+            node for node in range(100) if pool.buffered(node) > 0
+        )
+        assert pool.in_memory_series <= 1000
+        assert survivors == list(range(len(survivors)))  # a prefix of the smallest
+
     def test_spills_largest_buffer_first(self):
         pool = BufferPool(capacity_series=100)
         pool.add("small", 10)

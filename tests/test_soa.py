@@ -1,0 +1,92 @@
+"""Tests for the growable structure-of-arrays payload storage."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.soa import GrowableArray
+
+
+class TestGrowableArray:
+    def test_append_and_view(self):
+        vec = GrowableArray(dtype=np.int64)
+        for value in (3, 1, 4):
+            vec.append(value)
+        assert len(vec) == 3
+        assert list(vec) == [3, 1, 4]
+        np.testing.assert_array_equal(vec.data, [3, 1, 4])
+        assert vec.data.dtype == np.int64
+
+    def test_two_dimensional_rows(self):
+        mat = GrowableArray(width=4)
+        mat.append(np.arange(4.0))
+        mat.append(np.arange(4.0) + 10)
+        assert mat.data.shape == (2, 4)
+        np.testing.assert_allclose(mat[1], [10, 11, 12, 13])
+
+    def test_extend_block(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend(np.arange(100))
+        vec.extend(np.arange(100, 130))
+        assert len(vec) == 130
+        np.testing.assert_array_equal(vec.data, np.arange(130))
+        assert vec.data.flags["C_CONTIGUOUS"]
+
+    def test_extend_empty_is_noop(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend(np.array([], dtype=np.int64))
+        assert len(vec) == 0
+        assert not vec
+
+    def test_growth_preserves_contents(self):
+        vec = GrowableArray(dtype=np.int64, capacity=2)
+        for value in range(50):
+            vec.append(value)
+        np.testing.assert_array_equal(vec.data, np.arange(50))
+
+    def test_data_view_is_read_only(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend([1, 2, 3])
+        with pytest.raises(ValueError):
+            vec.data[0] = 9
+        vec.append(4)  # internal writes keep working
+        assert list(vec) == [1, 2, 3, 4]
+
+    def test_asarray_protocol(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend([7, 8, 9])
+        arr = np.asarray(vec)
+        np.testing.assert_array_equal(arr, [7, 8, 9])
+        as_float = np.asarray(vec, dtype=np.float64)
+        assert as_float.dtype == np.float64
+
+    def test_bool_and_indexing(self):
+        vec = GrowableArray(dtype=np.int64)
+        assert not vec
+        vec.append(5)
+        assert vec
+        assert vec[0] == 5
+        np.testing.assert_array_equal(vec[np.array([0])], [5])
+
+    def test_clear_releases_rows(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend(np.arange(10))
+        view = vec.data
+        vec.clear()
+        assert len(vec) == 0
+        # The snapshot taken before the clear stays valid.
+        np.testing.assert_array_equal(view, np.arange(10))
+
+    def test_pickle_roundtrip(self):
+        mat = GrowableArray(width=3)
+        mat.extend(np.arange(12.0).reshape(4, 3))
+        clone = pickle.loads(pickle.dumps(mat))
+        np.testing.assert_allclose(clone.data, mat.data)
+        clone.append(np.zeros(3))
+        assert len(clone) == 5 and len(mat) == 4
+
+    def test_data_is_a_view_not_a_copy(self):
+        vec = GrowableArray(dtype=np.int64)
+        vec.extend(np.arange(5))
+        assert vec.data.base is not None

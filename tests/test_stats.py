@@ -27,6 +27,20 @@ class TestAccessCounter:
         assert counter.random_accesses == 0
         assert counter.series_read == 0
 
+    def test_bytes_written_tracked_through_snapshot_diff_merge(self):
+        counter = AccessCounter(bytes_read=100, bytes_written=40)
+        snap = counter.snapshot()
+        assert snap.bytes_written == 40
+        counter.bytes_written = 90
+        counter.bytes_read = 150
+        delta = counter.diff(snap)
+        assert delta.bytes_written == 50
+        assert delta.bytes_read == 50
+        delta.merge(AccessCounter(bytes_written=10))
+        assert delta.bytes_written == 60
+        counter.reset()
+        assert counter.bytes_written == 0
+
 
 class TestQueryStats:
     def test_pruning_ratio(self):

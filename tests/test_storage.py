@@ -89,3 +89,47 @@ class TestAccounting:
         store.reset_counters()
         assert store.counter.random_accesses == 0
         assert store.counter.bytes_read == 0
+
+
+class TestReadOnlyViews:
+    """Reads return views into the dataset; callers must never mutate them."""
+
+    def test_scan_returns_read_only_array(self, dataset):
+        store = SeriesStore(dataset)
+        data = store.scan()
+        with pytest.raises(ValueError):
+            data[0, 0] = 99.0
+
+    def test_read_contiguous_view_is_read_only(self, dataset):
+        store = SeriesStore(dataset)
+        block = store.read_contiguous(3, 8)
+        assert block.base is not None  # a view, not a copy
+        with pytest.raises(ValueError):
+            block[0, 0] = 99.0
+
+    def test_read_one_view_is_read_only(self, dataset):
+        store = SeriesStore(dataset)
+        series = store.read_one(5)
+        with pytest.raises(ValueError):
+            series[0] = 99.0
+
+    def test_slice_peek_is_read_only(self, dataset):
+        store = SeriesStore(dataset)
+        block = store.peek(slice(0, 4))
+        with pytest.raises(ValueError):
+            block[0, 0] = 99.0
+
+    def test_dataset_array_is_frozen_by_the_store(self, dataset):
+        SeriesStore(dataset)
+        assert not dataset.values.flags.writeable
+
+    def test_values_survive_unchanged_after_queries(self, dataset):
+        from repro.core.queries import KnnQuery
+        from repro import create_method
+
+        original = dataset.values.copy()
+        store = SeriesStore(dataset)
+        method = create_method("isax2+", store, leaf_capacity=8)
+        method.build()
+        method.knn_exact(KnnQuery(series=np.asarray(dataset.values[0], dtype=np.float64), k=3))
+        np.testing.assert_array_equal(dataset.values, original)
