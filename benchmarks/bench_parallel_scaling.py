@@ -1,0 +1,228 @@
+"""Parallel scaling: batch-query throughput vs worker count, answers verified.
+
+Measures queries/sec of the sharded execution engine at 1/2/4/8 workers
+(``shards = max(2, workers)``, so intra-query fan-out and inter-query
+chunking both scale) against the single-worker baseline of the same method,
+and verifies in-benchmark — at *every* worker count, so the concurrent
+configurations are checked, not just the sequential fallback — that the
+sharded answers are identical to the unsharded method's (positions exactly;
+distances exactly for per-query paths, to float tolerance for the GEMM batch
+kernels, whose last-ulp tile-shape sensitivity is a documented batch-API
+property).
+
+The default configuration mirrors the acceptance setting — a seeded
+100k x 128 random-walk dataset, 100-query batches — where 4 workers are
+required to reach >= 2.5x the 1-worker throughput for the flat scan and
+>= 1.8x for at least two tree indexes.  Thread scaling obviously requires
+cores: the report records ``os.cpu_count()`` (and honest ~1.0x speedups on a
+single-CPU machine) so CI artifacts are interpretable.  Worker threads spend
+their time in NumPy kernels that release the GIL (distance tiles, lower-bound
+batches), which is what makes thread-level scaling possible at all; per-worker
+BLAS threading is pinned to 1 before NumPy loads so the 1-worker baseline is
+not itself secretly parallel.
+
+Results are also written as JSON (``BENCH_parallel_scaling.json`` by default)
+so CI can archive the scaling trajectory across commits.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py            # full
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke    # CI
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+# Pin per-process BLAS threading *before* NumPy loads: the scaling claim is
+# about our worker pool, and an auto-threaded baseline GEMM would both blur
+# the 1-worker reference and oversubscribe the cores under 4+ workers.
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np  # noqa: E402  (after the BLAS pinning above)
+
+#: methods measured, with parameters at benchmark scale.  Tree leaf sizes are
+#: large enough that leaf-scan kernels (GIL-releasing) dominate traversal.
+METHODS = {
+    "flat": {},
+    "isax2+": {"leaf_capacity": 2000},
+    "dstree": {"leaf_capacity": 2000},
+}
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: acceptance gates at 4 workers (meaningful on >= 4 physical cores).
+GATES = {"flat": 2.5, "isax2+": 1.8, "dstree": 1.8}
+
+
+def _verify_answers(base, sharded, queries, k: int, vectorized: bool) -> bool:
+    """Sharded answers must equal the unsharded baseline on every query."""
+    fan = sharded.knn_exact_batch(queries, k=k)
+    for a, b in zip(base, fan):
+        if a.positions() != b.positions():
+            return False
+        if vectorized:
+            if not np.allclose(a.distances(), b.distances(), rtol=1e-9, atol=1e-6):
+                return False
+        elif a.distances() != b.distances():
+            return False
+    return True
+
+
+def _throughput(method, queries, k: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        method.knn_exact_batch(queries, k=k)
+        best = min(best, time.perf_counter() - start)
+    return queries.shape[0] / best
+
+
+def run(count: int, length: int, query_count: int, k: int, repeats: int) -> list[dict]:
+    from repro import SeriesStore, create_method
+    from repro.workloads import random_walk_dataset, synth_rand_workload
+
+    dataset = random_walk_dataset(count, length, seed=2018, name="parallel-scaling")
+    queries = np.vstack(
+        [
+            np.asarray(q.series, dtype=np.float64)
+            for q in synth_rand_workload(length, count=query_count, seed=99)
+        ]
+    )
+
+    rows = []
+    for name, params in METHODS.items():
+        plain = create_method(name, SeriesStore(dataset), **params)
+        plain.build()
+        baseline = plain.knn_exact_batch(queries, k=k)  # computed once per method
+        per_worker: dict[str, float] = {}
+        verified = True
+        for workers in WORKER_COUNTS:
+            sharded = create_method(
+                f"sharded:{name}",
+                SeriesStore(dataset),
+                shards=max(2, workers),
+                workers=workers,
+                **params,
+            )
+            sharded.build()
+            # Verify at every worker count: the concurrent configurations are
+            # exactly the ones a threading bug would corrupt.
+            verified = verified and _verify_answers(
+                baseline, sharded, queries, k, vectorized=name in ("flat", "mass")
+            )
+            sharded.knn_exact_batch(queries[:4], k=k)  # warm caches and pools
+            per_worker[str(workers)] = _throughput(sharded, queries, k, repeats)
+            sharded.close()  # release the worker pool before the next config
+        base = per_worker[str(WORKER_COUNTS[0])]
+        rows.append(
+            {
+                "method": name,
+                "series": count,
+                "length": length,
+                "queries": query_count,
+                "k": k,
+                "queries_per_s": per_worker,
+                "speedup_vs_1": {w: qps / base for w, qps in per_worker.items()},
+                "answers_match": verified,
+            }
+        )
+        del plain
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized run")
+    parser.add_argument("--count", type=int, default=100_000, help="series in the dataset")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=100, help="queries per batch")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per query")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--require-gates",
+        action="store_true",
+        help="exit non-zero unless the 4-worker speedup gates hold "
+        "(needs >= 4 physical cores to be meaningful)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_parallel_scaling.json",
+        help="path for the JSON results ('' disables writing)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.count, args.length, args.queries, args.repeats = 5_000, 64, 20, 1
+
+    rows = run(args.count, args.length, args.queries, args.k, args.repeats)
+    cpus = os.cpu_count() or 1
+
+    print(
+        f"\nparallel scaling — {args.count} x {args.length} series, "
+        f"{args.queries}-query batches, k={args.k}, {cpus} CPU(s)"
+    )
+    header = f"{'method':<10} {'answers':>8}" + "".join(
+        f" {f'{w}w q/s':>10}" for w in WORKER_COUNTS
+    ) + "".join(f" {f'{w}w x':>7}" for w in WORKER_COUNTS[1:])
+    print(header)
+    for row in rows:
+        line = f"{row['method']:<10} {'match' if row['answers_match'] else 'DIFFER':>8}"
+        for w in WORKER_COUNTS:
+            line += f" {row['queries_per_s'][str(w)]:>10.1f}"
+        for w in WORKER_COUNTS[1:]:
+            line += f" {row['speedup_vs_1'][str(w)]:>6.2f}x"
+        print(line)
+    if cpus < 4:
+        print(
+            f"note: {cpus} CPU(s) available — thread speedups are bounded by the "
+            "core count; run on a multicore host to observe scaling."
+        )
+
+    if args.json:
+        payload = {
+            "benchmark": "parallel_scaling",
+            "count": args.count,
+            "length": args.length,
+            "queries": args.queries,
+            "k": args.k,
+            "cpus": cpus,
+            "rows": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+    failed = False
+    for row in rows:
+        if not row["answers_match"]:
+            print(
+                f"FAIL: sharded:{row['method']} answers differ from {row['method']}",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.require_gates:
+        for name, gate in GATES.items():
+            speedup = next(
+                r["speedup_vs_1"]["4"] for r in rows if r["method"] == name
+            )
+            if speedup < gate:
+                print(
+                    f"FAIL: sharded:{name} 4-worker speedup {speedup:.2f}x below "
+                    f"required {gate:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ from .evaluation import (
     run_comparison,
     run_experiment,
 )
+from .core.parallel import parallel_batch_search, resolve_workers
 from .indexes import (
     AdsPlusIndex,
     DsTreeIndex,
@@ -56,6 +57,7 @@ from .indexes import (
     SearchMethod,
     SearchResult,
     SfaTrieIndex,
+    ShardedMethod,
     StepwiseIndex,
     VaPlusFileIndex,
 )
@@ -92,6 +94,9 @@ __all__ = [
     "run_comparison",
     "SearchMethod",
     "SearchResult",
+    "ShardedMethod",
+    "parallel_batch_search",
+    "resolve_workers",
     "AdsPlusIndex",
     "DsTreeIndex",
     "Isax2PlusIndex",

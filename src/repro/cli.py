@@ -58,15 +58,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="build one method and answer a workload")
     _add_dataset_arguments(run)
-    run.add_argument("--method", required=True, help="method name (see 'methods')")
+    run.add_argument(
+        "--method",
+        required=True,
+        help="method name (see 'methods'); prefix with 'sharded:' for the "
+        "partition-parallel wrapper (e.g. sharded:isax2+)",
+    )
     run.add_argument("--leaf-size", type=int, default=None, help="leaf capacity override")
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partitions for a 'sharded:*' method (default: the worker count)",
+    )
 
     compare = sub.add_parser("compare", help="compare several methods on one dataset")
     _add_dataset_arguments(compare)
     compare.add_argument(
         "--methods",
         default="dstree,va+file,ucr-suite",
-        help="comma-separated method names",
+        help="comma-separated method names ('sharded:<name>' wraps any of them)",
     )
     return parser
 
@@ -94,6 +105,13 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         choices=sorted(PLATFORMS),
         help="hardware cost model for the simulated I/O time",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread workers for parallel query serving and shard builds "
+        "(default: 1; sharded methods default their shard count to this)",
+    )
 
 
 def _make_dataset(args: argparse.Namespace):
@@ -108,11 +126,30 @@ def _make_workload(args: argparse.Namespace, dataset):
     return synth_rand_workload(dataset.length, count=args.queries, seed=args.seed + 1)
 
 
-def _method_params(name: str, leaf_size: int | None = None) -> dict:
-    params = dict(_DEFAULT_PARAMS.get(name, {}))
+def _base_method_name(name: str) -> str:
+    """Strip the ``sharded:`` wrapper prefix (if any) for name validation."""
+    return name.split(":", 1)[1] if name.startswith("sharded:") else name
+
+
+def _known_method(name: str) -> bool:
+    return _base_method_name(name) in available_methods()
+
+
+def _method_params(
+    name: str,
+    leaf_size: int | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+) -> dict:
+    base = _base_method_name(name)
+    params = dict(_DEFAULT_PARAMS.get(base, {}))
     if leaf_size is not None:
-        key = "node_capacity" if name == "m-tree" else "leaf_capacity"
+        key = "node_capacity" if base == "m-tree" else "leaf_capacity"
         params[key] = leaf_size
+    if name.startswith("sharded:"):
+        params["workers"] = workers if workers is not None else 1
+        if shards is not None:
+            params["shards"] = shards
     return params
 
 
@@ -143,8 +180,15 @@ def _command_recommend(args: argparse.Namespace, out) -> int:
 
 
 def _command_run(args: argparse.Namespace, out) -> int:
-    if args.method not in available_methods():
+    if not _known_method(args.method):
         print(f"unknown method {args.method!r}; run 'repro methods'", file=out)
+        return 2
+    if args.shards is not None and not args.method.startswith("sharded:"):
+        print(
+            f"--shards only applies to sharded methods; did you mean "
+            f"--method sharded:{args.method}?",
+            file=out,
+        )
         return 2
     dataset = _make_dataset(args)
     workload = _make_workload(args, dataset)
@@ -153,7 +197,10 @@ def _command_run(args: argparse.Namespace, out) -> int:
         workload,
         args.method,
         platform=PLATFORMS[args.platform],
-        method_params=_method_params(args.method, args.leaf_size),
+        method_params=_method_params(
+            args.method, args.leaf_size, workers=args.workers, shards=args.shards
+        ),
+        workers=args.workers,
     )
     print(render_table([_result_row(result)], title=f"{args.method} on {dataset.name}"), file=out)
     return 0
@@ -161,7 +208,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
 
 def _command_compare(args: argparse.Namespace, out) -> int:
     names = [name.strip() for name in args.methods.split(",") if name.strip()]
-    unknown = [name for name in names if name not in available_methods()]
+    unknown = [name for name in names if not _known_method(name)]
     if unknown:
         print(f"unknown methods: {', '.join(unknown)}", file=out)
         return 2
@@ -175,7 +222,8 @@ def _command_compare(args: argparse.Namespace, out) -> int:
             workload,
             name,
             platform=PLATFORMS[args.platform],
-            method_params=_method_params(name),
+            method_params=_method_params(name, workers=args.workers),
+            workers=args.workers,
         )
         results[name] = result
         rows.append(_result_row(result))

@@ -27,13 +27,21 @@ class KnnAnswerSet:
 
     Every method in the library funnels candidates through this structure, so
     the best-so-far (bsf) pruning threshold is maintained identically everywhere.
+
+    Ties are deterministic: candidates are ranked by ``(squared_distance,
+    position)``, so among equal distances the *smaller position* wins a slot.
+    The final contents are therefore the lexicographic top-k of everything
+    offered, independent of offer order — which is what makes sharded /
+    parallel searches byte-identical to their sequential counterparts.
     """
 
     def __init__(self, k: int) -> None:
         if k <= 0:
             raise ValueError("k must be a positive integer")
         self.k = k
-        # max-heap via negated squared distances
+        # Min-heap of (-squared_distance, -position): the head is the
+        # lexicographically largest (distance, position) pair, i.e. the entry
+        # evicted first when a better candidate arrives.
         self._heap: list[tuple[float, int]] = []
         # positions currently in the heap; a series can only be an answer once,
         # even if several access paths (approximate leaf + refinement scan)
@@ -48,13 +56,16 @@ class KnnAnswerSet:
         if position in self._positions:
             return False
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-squared_distance, position))
+            heapq.heappush(self._heap, (-squared_distance, -position))
             self._positions.add(position)
             return True
-        worst = -self._heap[0][0]
-        if squared_distance < worst:
-            _, evicted = heapq.heapreplace(self._heap, (-squared_distance, position))
-            self._positions.discard(evicted)
+        worst_neg_sq, worst_neg_pos = self._heap[0]
+        worst = -worst_neg_sq
+        if squared_distance < worst or (
+            squared_distance == worst and position < -worst_neg_pos
+        ):
+            heapq.heapreplace(self._heap, (-squared_distance, -position))
+            self._positions.discard(-worst_neg_pos)
             self._positions.add(position)
             return True
         return False
@@ -67,13 +78,13 @@ class KnnAnswerSet:
         ``np.argpartition`` keeps only the candidates that can possibly enter
         the heap (at most ``k`` plus the current occupancy, to absorb
         duplicate-position collisions), and only that handful goes through
-        :meth:`offer`.  The resulting top-k *distances* are identical to
-        offering each candidate individually; among candidates whose distances
-        tie exactly at the k-th value the admitted *positions* may differ from
-        the sequential loop (``argpartition`` breaks such ties arbitrarily),
-        and a position repeated within one batch keeps its smallest distance
-        (the sequential loop kept the first seen; a position has a single true
-        distance, so real call sites never hit this).
+        :meth:`offer`.  The result is exactly what offering each candidate
+        individually produces: the lexicographic ``(distance, position)``
+        top-k (candidates tying the k-th distance are filtered with ``<=`` so
+        the positional tie-break in :meth:`offer` can still decide them).  A
+        position repeated within one batch keeps its smallest distance (a
+        position has a single true distance, so real call sites never hit
+        this).
         """
         pos = np.asarray(positions, dtype=np.int64).ravel()
         sq = np.asarray(squared_distances, dtype=np.float64).ravel()
@@ -93,7 +104,9 @@ class KnnAnswerSet:
         admitted = 0
         threshold = self.worst_squared_distance
         if np.isfinite(threshold):
-            candidates = np.flatnonzero(sq < threshold)
+            # <= rather than <: candidates tying the current k-th distance may
+            # still enter on the positional tie-break.
+            candidates = np.flatnonzero(sq <= threshold)
         else:
             candidates = np.arange(pos.size)
         while candidates.size:
@@ -115,8 +128,27 @@ class KnnAnswerSet:
                 break
             # Duplicate collisions may have left room for candidates beyond the
             # cap; re-filter the remainder against the updated threshold.
-            candidates = rest[sq[rest] < self.worst_squared_distance]
+            candidates = rest[sq[rest] <= self.worst_squared_distance]
         return admitted
+
+    def merge(self, other: "KnnAnswerSet", position_offset: int = 0) -> int:
+        """Fold another answer set into this one; returns how many entered.
+
+        ``position_offset`` translates the other set's positions into this
+        set's coordinate space (a shard's local positions become global ones).
+        Distance ties are broken by (translated) position via :meth:`offer`,
+        so merging per-shard sets in any order yields the same final top-k —
+        byte-identical to offering every underlying candidate to one set.
+        """
+        admitted = 0
+        for sq, position in other.squared_items():
+            if self.offer(position + position_offset, sq):
+                admitted += 1
+        return admitted
+
+    def squared_items(self) -> list[tuple[float, int]]:
+        """The current answers as ``(squared_distance, position)``, best first."""
+        return sorted((-neg_sq, -neg_pos) for neg_sq, neg_pos in self._heap)
 
     # -- thresholds -----------------------------------------------------------
     @property
@@ -142,9 +174,11 @@ class KnnAnswerSet:
 
     # -- extraction ----------------------------------------------------------
     def neighbors(self) -> list[Neighbor]:
-        """The answers sorted by increasing Euclidean distance."""
-        ordered = sorted((-d, pos) for d, pos in self._heap)
-        return [Neighbor(distance=float(np.sqrt(sq)), position=pos) for sq, pos in ordered]
+        """The answers sorted by increasing (distance, position)."""
+        return [
+            Neighbor(distance=float(np.sqrt(sq)), position=pos)
+            for sq, pos in self.squared_items()
+        ]
 
     def positions(self) -> list[int]:
         return [n.position for n in self.neighbors()]

@@ -10,6 +10,7 @@ buffers, which is accounted as sequential writes followed by later re-reads.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 
 from .stats import AccessCounter
@@ -29,6 +30,15 @@ class BufferStats:
 
 class BufferPool:
     """Tracks buffered series per index node and simulates spilling to disk.
+
+    Thread safety: all mutating operations (:meth:`add`, :meth:`flush`,
+    :meth:`flush_all`) and the spill machinery they drive are guarded by an
+    ``RLock``, so a pool may be shared by concurrent builders (e.g. appends
+    arriving while another thread builds).  Note the attached ``counter`` is
+    charged *while holding the lock*, so spill accounting from concurrent
+    users of one pool never interleaves mid-update; parallel shard builds
+    avoid even that by giving every shard its own pool and counter and
+    merging afterwards.
 
     Parameters
     ----------
@@ -59,6 +69,7 @@ class BufferPool:
         self.counter = counter if counter is not None else AccessCounter()
         self.page_series = max(1, page_series)
         self.stats = BufferStats()
+        self._lock = threading.RLock()
         self._buffers: dict[object, int] = {}
         self._in_memory = 0
         # Max-heap of (-count, sequence, key) candidates for the next spill.
@@ -74,31 +85,43 @@ class BufferPool:
         """Buffer ``count`` series for ``node_key``, spilling if over capacity."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        new_count = self._buffers.get(node_key, 0) + count
-        self._buffers[node_key] = new_count
-        self._push_candidate(node_key, new_count)
-        self._in_memory += count
-        self.stats.series_buffered += count
-        self.stats.peak_series_in_memory = max(
-            self.stats.peak_series_in_memory, self._in_memory
-        )
-        if self.capacity_series is not None:
-            while self._in_memory > self.capacity_series and self._buffers:
-                self._spill_largest()
+        with self._lock:
+            new_count = self._buffers.get(node_key, 0) + count
+            self._buffers[node_key] = new_count
+            self._push_candidate(node_key, new_count)
+            self._in_memory += count
+            self.stats.series_buffered += count
+            self.stats.peak_series_in_memory = max(
+                self.stats.peak_series_in_memory, self._in_memory
+            )
+            if self.capacity_series is not None:
+                while self._in_memory > self.capacity_series and self._buffers:
+                    self._spill_largest()
 
     def flush(self, node_key: object) -> int:
         """Flush one node's buffer (e.g. when its leaf is finalized)."""
-        count = self._buffers.pop(node_key, 0)
-        self._in_memory -= count
-        return count
+        with self._lock:
+            count = self._buffers.pop(node_key, 0)
+            self._in_memory -= count
+            return count
 
     def flush_all(self) -> int:
         """Flush every buffer (end of the build)."""
-        total = sum(self._buffers.values())
-        self._buffers.clear()
-        self._spill_heap.clear()
-        self._in_memory = 0
-        return total
+        with self._lock:
+            total = sum(self._buffers.values())
+            self._buffers.clear()
+            self._spill_heap.clear()
+            self._in_memory = 0
+            return total
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)  # locks are not picklable
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- internals --------------------------------------------------------------
     def _push_candidate(self, node_key: object, count: int) -> None:

@@ -168,6 +168,7 @@ class SimilaritySearchEngine:
         queries: np.ndarray,
         k: int = 1,
         normalize: bool = False,
+        workers: int | None = None,
     ) -> list:
         """Answer many exact k-NN queries in one call.
 
@@ -180,6 +181,18 @@ class SimilaritySearchEngine:
             Number of neighbors per query.
         normalize:
             Z-normalize every query first.
+        workers:
+            Inter-query parallelism: split the batch into contiguous chunks
+            answered concurrently on a thread pool (``None`` keeps the
+            sequential batch call; ``workers=N`` uses up to ``N`` threads,
+            each with worker-local accounting).  Answers are byte-identical
+            for every worker count for methods whose batch path loops the
+            per-query search (all tree indexes, UCR Suite, Stepwise); the
+            flat/MASS vectorized batch kernels see a different GEMM tile
+            shape per chunk, which can move distances in the final ulp —
+            the same caveat their batch path already carries versus
+            per-query search.  Composes with a ``"sharded:*"`` method, whose
+            shard fan-out parallelizes *within* each chunk.
 
         Returns one :class:`~repro.indexes.base.SearchResult` per query, in
         order, with exactly the answers :meth:`search` would return
@@ -193,6 +206,10 @@ class SimilaritySearchEngine:
         qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if normalize:
             qs = np.vstack([znormalize(q) for q in qs])
+        if workers is not None and workers != 1:
+            from .parallel import parallel_batch_search
+
+            return parallel_batch_search(self.method, qs, k=k, workers=workers)
         return self.method.knn_exact_batch(qs, k=k)
 
     def range_search(

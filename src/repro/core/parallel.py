@@ -1,0 +1,191 @@
+"""Thread-level parallel execution: worker pools, shared radii, batch dispatch.
+
+Every hot path in the library bottoms out in NumPy kernels that release the
+GIL (distance tiles, lower-bound batches, FFTs, lexsorts), so thread pools are
+the cheapest way to use every core: no serialization, no copies of the
+dataset, and the simulated-storage accounting stays in process.  This module
+is the single home for that machinery:
+
+* :func:`resolve_workers` — one rule for turning a ``workers=`` argument (or
+  the ``REPRO_WORKERS`` environment variable) into a worker count;
+* :func:`parallel_map` — an ordered, exception-propagating thread map used by
+  the sharded index wrapper and the batch dispatcher;
+* :func:`chunk_slices` — deterministic contiguous partitioning shared by the
+  shard planner and the inter-query batch chunker;
+* :class:`SharedRadius` — the lock-guarded monotone best-so-far threshold that
+  concurrent shard searches read to tighten their pruning;
+* :func:`parallel_batch_search` — inter-query parallelism over any built
+  :class:`~repro.indexes.base.SearchMethod`.
+
+Thread-safety story (applies to every worker spawned here): workers never
+mutate shared accounting state.  Each worker gets a *forked* store
+(:meth:`~repro.core.storage.SeriesStore.fork` — same dataset, fresh
+:class:`~repro.core.stats.AccessCounter`), accumulates privately, and the
+coordinating thread merges the counters with ``AccessCounter.merge`` after
+joining.  Results are always returned in submission order; scheduling never
+reorders or changes answers (chunking a batch does change the GEMM tile
+shape seen by the flat/MASS vectorized kernels, whose distances may move in
+the final ulp — the caveat their batch path already documents).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable
+
+__all__ = [
+    "DEFAULT_WORKERS_ENV",
+    "default_workers",
+    "resolve_workers",
+    "chunk_slices",
+    "parallel_map",
+    "SharedRadius",
+    "parallel_batch_search",
+]
+
+#: environment variable overriding the default worker count.
+DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Default worker count: ``REPRO_WORKERS`` if set, else the CPU count."""
+    override = os.environ.get(DEFAULT_WORKERS_ENV, "").strip()
+    if override:
+        try:
+            workers = int(override)
+        except ValueError as exc:
+            raise ValueError(
+                f"{DEFAULT_WORKERS_ENV} must be an integer, got {override!r}"
+            ) from exc
+        if workers <= 0:
+            raise ValueError(
+                f"{DEFAULT_WORKERS_ENV} must be positive, got {workers} "
+                "(use 1 to force sequential execution)"
+            )
+        return workers
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a ``workers=`` argument: ``None`` means the environment default."""
+    if workers is None:
+        return max(1, default_workers())
+    count = int(workers)
+    if count <= 0:
+        raise ValueError("workers must be a positive integer (or None for the default)")
+    return count
+
+
+def chunk_slices(total: int, parts: int) -> list[slice]:
+    """Split ``range(total)`` into ``parts`` contiguous, nearly equal slices.
+
+    The first ``total % parts`` slices get one extra element, so the layout is
+    a pure function of ``(total, parts)`` — shard boundaries and batch chunks
+    are reproducible across runs and worker counts.
+    """
+    if total <= 0:
+        return []
+    parts = max(1, min(int(parts), total))
+    base, extra = divmod(total, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append(slice(start, stop))
+        start = stop
+    return slices
+
+
+def parallel_map(
+    fn: Callable, items: Iterable, workers: int, pool: ThreadPoolExecutor | None = None
+) -> list:
+    """Apply ``fn`` to every item on a thread pool, preserving item order.
+
+    With ``workers <= 1`` (or one item) this is a plain loop — zero threading
+    overhead and an identical code path, which is what makes ``workers=1`` the
+    exact sequential baseline.  Exceptions raised by any worker propagate to
+    the caller, like the built-in ``map``.
+
+    ``pool`` reuses a caller-owned executor (hot serving paths keep one per
+    sharded method so queries do not pay thread spawn/join per call); without
+    one, a transient executor is created and torn down around the map.
+    """
+    work = list(items)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    if pool is not None:
+        return list(pool.map(fn, work))
+    with ThreadPoolExecutor(max_workers=min(int(workers), len(work))) as transient:
+        return list(transient.map(fn, work))
+
+
+class SharedRadius:
+    """A monotonically tightening best-so-far squared radius shared by workers.
+
+    Concurrent shard searches publish their local pruning threshold here and
+    read the global minimum to prune against answers found by *other* shards.
+    Updates are lock-guarded and monotone (the value only ever decreases), so
+    a stale read is always a *looser* threshold — never incorrect, exactness
+    does not depend on the interleaving.  Reads are a single attribute load
+    (atomic under the GIL) so the hot path takes no lock.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: float = float("inf")) -> None:
+        self._lock = threading.Lock()
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The current global threshold (squared distance)."""
+        return self._value
+
+    def tighten(self, value: float) -> bool:
+        """Lower the shared threshold to ``value`` if it improves the current one."""
+        if not value < self._value:  # cheap lock-free rejection of stale updates
+            return False
+        with self._lock:
+            if value < self._value:
+                self._value = value
+                return True
+        return False
+
+
+def parallel_batch_search(method, queries, k: int = 1, workers: int | None = None) -> list:
+    """Answer a query batch with inter-query parallelism over ``method``.
+
+    The batch is split into contiguous chunks (one per worker) and each chunk
+    runs ``method.knn_exact_batch`` on its own thread with a *forked* store,
+    so access accounting is worker-local; the forks are merged into the
+    method's counter after the join.  Results come back in query order and
+    match the sequential batch call — byte-identically for per-query-loop
+    batch paths, to the final ulp for the flat/MASS GEMM kernels (tile-shape
+    sensitivity, see :mod:`repro.indexes.sharded`).  Composes with the
+    sharded wrapper: each chunk then fans out across shards (inter-query x
+    intra-query parallelism).
+    """
+    import numpy as np
+
+    count = resolve_workers(workers)
+    qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    total = qs.shape[0]
+    if count <= 1 or total <= 1:
+        return method.knn_exact_batch(qs, k=k)
+    slices = chunk_slices(total, count)
+
+    def run_chunk(chunk: slice):
+        reader = method.store.fork()
+        with method.execution_context(store=reader):
+            results = method.knn_exact_batch(qs[chunk], k=k)
+        return results, reader.counter
+
+    outputs = parallel_map(run_chunk, slices, count)
+    results: list = []
+    counter = method.store.counter
+    for chunk_results, chunk_counter in outputs:
+        counter.merge(chunk_counter)
+        results.extend(chunk_results)
+    return results

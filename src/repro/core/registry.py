@@ -33,11 +33,36 @@ def create_method(name: str, store: SeriesStore, **params):
 
     Parameters are forwarded to the method constructor; unknown names raise a
     ``KeyError`` listing the available methods.
+
+    Any registered method can be wrapped in the parallel sharded executor by
+    prefixing its name with ``"sharded:"`` (e.g. ``"sharded:isax2+"``); the
+    wrapper's own knobs (``shards=``, ``workers=``) ride along in ``params``
+    and everything else is forwarded to the inner method.
     """
     _ensure_builtin_methods()
     key = name.lower()
+    if key.startswith("sharded:") or key == "sharded":
+        from ..indexes.sharded import ShardedMethod
+
+        if ":" in key:
+            if "inner" in params:
+                raise ValueError(
+                    "pass the inner method either via the 'sharded:<name>' "
+                    "prefix or the inner= parameter, not both"
+                )
+            inner = key.split(":", 1)[1]
+        else:
+            inner = str(params.pop("inner", "flat")).lower()
+        if inner not in _FACTORIES:
+            raise KeyError(
+                f"unknown sharded inner method {inner!r}; available: {available_methods()}"
+            )
+        return ShardedMethod(store, inner=inner, **params)
     if key not in _FACTORIES:
-        raise KeyError(f"unknown method {name!r}; available: {available_methods()}")
+        raise KeyError(
+            f"unknown method {name!r}; available: {available_methods()} "
+            "(any of these can be wrapped as 'sharded:<name>')"
+        )
     return _FACTORIES[key](store, **params)
 
 

@@ -21,7 +21,18 @@ __all__ = [
 
 @dataclass
 class AccessCounter:
-    """Low-level storage access counters (shared by a store and its readers)."""
+    """Low-level storage access counters (shared by a store and its readers).
+
+    Thread safety: the counter is a plain accumulator with **no locking**, and
+    ``+=`` on its fields is not atomic.  The contract for parallel execution
+    is therefore *per-worker counters, merged at the end*: every worker thread
+    accumulates into its own private counter (obtained via
+    :meth:`~repro.core.storage.SeriesStore.fork`) and the coordinating thread
+    folds the workers' counters into the shared one with :meth:`merge` after
+    joining them.  A counter instance must never be mutated concurrently from
+    two threads; :mod:`repro.core.parallel` and the sharded index wrapper
+    follow this protocol everywhere.
+    """
 
     sequential_pages: int = 0
     random_accesses: int = 0

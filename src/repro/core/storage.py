@@ -149,6 +149,18 @@ class SeriesStore:
         """
         return self.dataset.values[positions]
 
+    def fork(self) -> "SeriesStore":
+        """A reader view of this store with a private access counter.
+
+        The fork shares the (frozen, zero-copy) dataset and page geometry but
+        counts accesses into a fresh :class:`AccessCounter`, which is the
+        thread-safety contract of parallel execution: each worker thread reads
+        through its own fork and the coordinator merges the forks' counters
+        into this store's counter after joining (``counter.merge``), so no
+        counter is ever mutated from two threads.
+        """
+        return SeriesStore(self.dataset, page_bytes=self.page_bytes)
+
     # -- bookkeeping -----------------------------------------------------------
     def reset_counters(self) -> None:
         self.counter.reset()

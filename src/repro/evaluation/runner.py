@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.parallel import parallel_batch_search
 from ..core.queries import QueryWorkload
 from ..core.registry import create_method
 from ..core.series import Dataset
@@ -116,6 +117,7 @@ def run_experiment(
     exact: bool = True,
     page_bytes: int | None = None,
     batch: bool = True,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Build ``method_name`` over ``dataset`` and answer ``workload``.
 
@@ -128,6 +130,11 @@ def run_experiment(
     path (disable with ``batch=False``).  Methods without a vectorized batch
     implementation answer query by query as before; scan-based methods
     amortize one data pass over the whole workload.
+
+    ``workers=N`` adds inter-query parallelism: the batch is chunked across a
+    thread pool with worker-local accounting (answers are byte-identical for
+    any worker count).  Combine with ``method_name="sharded:<m>"`` for
+    intra-query shard parallelism as well.
     """
     store = SeriesStore(dataset, page_bytes=page_bytes or platform.page_bytes)
     method = create_method(method_name, store, **(method_params or {}))
@@ -147,7 +154,12 @@ def run_experiment(
     shared_k = {q.k for q in queries}
     if batch and exact and queries and len(shared_k) == 1:
         stacked = np.vstack([np.asarray(q.series, dtype=np.float64) for q in queries])
-        answers = method.knn_exact_batch(stacked, k=shared_k.pop())
+        if workers is not None and workers != 1:
+            answers = parallel_batch_search(
+                method, stacked, k=shared_k.pop(), workers=workers
+            )
+        else:
+            answers = method.knn_exact_batch(stacked, k=shared_k.pop())
     else:
         answers = [
             method.knn_exact(query) if exact else method.knn_approximate(query)

@@ -6,6 +6,7 @@ search (a single root-to-leaf descent).
 """
 
 from .base import SearchMethod, SearchResult
+from .sharded import ShardedMethod
 from .isax import Isax2PlusIndex
 from .ads import AdsPlusIndex
 from .dstree import DsTreeIndex
@@ -18,6 +19,7 @@ from .stepwise import StepwiseIndex
 __all__ = [
     "SearchMethod",
     "SearchResult",
+    "ShardedMethod",
     "Isax2PlusIndex",
     "AdsPlusIndex",
     "DsTreeIndex",

@@ -122,7 +122,9 @@ class AdsPlusIndex(SearchMethod):
     def _knn_approximate(
         self, query: np.ndarray, k: int, stats: QueryStats
     ) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        # The SIMS exact path below grows this same answer set, so it goes
+        # through the context-overridable factory.
+        answers = self._make_answer_set(k)
         paa = self.summarizer.paa.transform(query)
         leaf = self.tree.leaf_for(paa)
         if leaf is None or leaf.size == 0:
@@ -145,7 +147,9 @@ class AdsPlusIndex(SearchMethod):
         bounds = self.summarizer.lower_bound_batch(paa, self._symbols)
         stats.lower_bounds_computed += bounds.shape[0]
         threshold = np.sqrt(answers.worst_squared_distance)
-        survivors = np.flatnonzero(bounds < threshold)
+        # <=: candidates whose bound ties the k-th distance may still win the
+        # positional tie-break, so equality must not be skipped.
+        survivors = np.flatnonzero(bounds <= threshold)
 
         # Skip-sequential scan: read contiguous runs of surviving positions.
         for start, stop in _contiguous_runs(survivors):

@@ -10,14 +10,17 @@ built on (:class:`~repro.core.stats.QueryStats`,
 from __future__ import annotations
 
 import abc
+import threading
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
 from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
 from ..core.distance import squared_euclidean_batch
 from ..core.queries import KnnQuery, RangeQuery
-from ..core.stats import IndexStats, QueryStats
+from ..core.series import SERIES_DTYPE
+from ..core.stats import AccessCounter, IndexStats, QueryStats
 from ..core.storage import SeriesStore
 
 __all__ = ["SearchMethod", "SearchResult", "RangeSearchResult"]
@@ -89,10 +92,69 @@ class SearchMethod(abc.ABC):
     def __init__(self, store: SeriesStore, build_mode: str = "bulk") -> None:
         if build_mode not in ("bulk", "incremental"):
             raise ValueError("build_mode must be 'bulk' or 'incremental'")
+        # Thread-local execution context (set before the store property below).
+        self._context = threading.local()
         self.store = store
         self.build_mode = build_mode
         self.index_stats = IndexStats(method=self.name)
         self._built = False
+
+    # -- parallel execution context ---------------------------------------------
+    # Search code is read-only with respect to the index structure (lazily
+    # cached node matrices are idempotent, so racing builds are benign under
+    # the GIL), which makes concurrent queries safe *except* for the shared
+    # access accounting.  Workers therefore run under an execution context
+    # that swaps in a forked store (same dataset, private counter) for the
+    # current thread only; ``self.store`` resolves through it transparently,
+    # so no method-specific search code needs to know about threading.
+
+    @property
+    def store(self) -> SeriesStore:
+        override = getattr(self._context, "store", None)
+        return self._base_store if override is None else override
+
+    @store.setter
+    def store(self, value: SeriesStore | None) -> None:
+        self._base_store = value
+        self._on_store_attached(value)
+
+    def _on_store_attached(self, store: SeriesStore | None) -> None:
+        """Hook run whenever the base store is (re-)attached (persistence)."""
+
+    @contextmanager
+    def execution_context(self, store: SeriesStore | None = None, answer_factory=None):
+        """Run the calling thread's searches under worker-local state.
+
+        ``store`` substitutes a forked store so access accounting is private
+        to this worker; ``answer_factory`` substitutes the k-NN answer-set
+        constructor (the sharded wrapper injects sets wired to a cross-shard
+        shared pruning radius).  Both apply to the current thread only and are
+        restored on exit, so concurrent workers compose without interference.
+        """
+        ctx = self._context
+        previous = (getattr(ctx, "store", None), getattr(ctx, "answer_factory", None))
+        if store is not None:
+            ctx.store = store
+        if answer_factory is not None:
+            ctx.answer_factory = answer_factory
+        try:
+            yield self
+        finally:
+            ctx.store, ctx.answer_factory = previous
+
+    def _make_answer_set(self, k: int) -> KnnAnswerSet:
+        """The k-NN answer set for one exact search (context-overridable)."""
+        factory = getattr(self._context, "answer_factory", None)
+        return KnnAnswerSet(k) if factory is None else factory(k)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_context", None)  # thread-local state is not picklable
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._context = threading.local()
 
     # -- construction -----------------------------------------------------------
     def build(self) -> IndexStats:
@@ -153,6 +215,18 @@ class SearchMethod(abc.ABC):
             raise RuntimeError(f"{self.name}: build() must be called before searching")
 
     # -- search -------------------------------------------------------------------
+    def _charge_delta(self, stats: QueryStats, delta: AccessCounter) -> None:
+        """Charge a store-counter delta to one query's stats."""
+        stats.random_accesses += delta.random_accesses
+        stats.sequential_pages += delta.sequential_pages
+        stats.bytes_read += delta.bytes_read
+
+    def _package_result(self, answers: KnnAnswerSet, stats: QueryStats) -> SearchResult:
+        neighbors = answers.neighbors()
+        if neighbors:
+            stats.answer_distance = neighbors[0].distance
+        return SearchResult(neighbors, stats)
+
     def knn_exact(self, query: KnnQuery) -> SearchResult:
         """Answer an exact k-NN query, with timing and access accounting."""
         self._require_built()
@@ -161,14 +235,8 @@ class SearchMethod(abc.ABC):
         start = time.perf_counter()
         answers = self._knn_exact(np.asarray(query.series, dtype=np.float64), query.k, stats)
         stats.cpu_seconds = time.perf_counter() - start
-        delta = self.store.since(before)
-        stats.random_accesses += delta.random_accesses
-        stats.sequential_pages += delta.sequential_pages
-        stats.bytes_read += delta.bytes_read
-        neighbors = answers.neighbors()
-        if neighbors:
-            stats.answer_distance = neighbors[0].distance
-        return SearchResult(neighbors, stats)
+        self._charge_delta(stats, self.store.since(before))
+        return self._package_result(answers, stats)
 
     def knn_exact_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
         """Answer many exact k-NN queries in one call.
@@ -177,15 +245,52 @@ class SearchMethod(abc.ABC):
         accepted).  Returns one :class:`SearchResult` per query, in order,
         with exactly the answers :meth:`knn_exact` would return.
 
-        The base implementation simply loops :meth:`knn_exact`, so every
-        method supports the batch API out of the box; scan-based methods
-        override this with a true vectorized implementation that amortizes the
-        data pass and the distance kernel over the whole query batch (one
-        ``(Q, N)`` distance-matrix tile pass instead of ``Q`` separate scans).
+        The work happens in the :meth:`_batch_answer_sets` seam: the base
+        implementation loops the per-query search, so every method supports
+        the batch API out of the box; scan-based methods override the seam
+        with a true vectorized implementation that amortizes the data pass and
+        the distance kernel over the whole query batch (one ``(Q, N)``
+        distance-matrix tile pass instead of ``Q`` separate scans), and the
+        sharded wrapper overrides it to fan the batch out across shards.
         """
         self._require_built()
         qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.knn_exact(KnnQuery(series=q, k=k)) for q in qs]
+        answer_sets, stats_list = self._batch_answer_sets(qs, k)
+        return [
+            self._package_result(answers, stats)
+            for answers, stats in zip(answer_sets, stats_list)
+        ]
+
+    def _batch_answer_sets(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[list[KnnAnswerSet], list[QueryStats]]:
+        """Per-query answer sets and stats for an exact batch (internal seam).
+
+        Returning raw answer sets (squared distances) rather than packaged
+        results lets the sharded wrapper merge shard answers without a lossy
+        sqrt round-trip.  The default is the per-query loop with per-query
+        timing and accounting — exactly what looping :meth:`knn_exact`
+        produces (queries pass through the collection dtype first, just as
+        :class:`~repro.core.queries.KnnQuery` coerces them).
+
+        Contract for overrides: create exactly one answer set per query, in
+        query order, via :meth:`_make_answer_set` — the sharded wrapper wires
+        per-query shared pruning radii through that factory and relies on the
+        call order to match sets to queries.
+        """
+        answer_sets: list[KnnAnswerSet] = []
+        stats_list: list[QueryStats] = []
+        for q in queries:
+            series = np.asarray(np.asarray(q, dtype=SERIES_DTYPE), dtype=np.float64)
+            before = self.store.snapshot()
+            stats = QueryStats(dataset_size=self.store.count)
+            start = time.perf_counter()
+            answers = self._knn_exact(series, k, stats)
+            stats.cpu_seconds = time.perf_counter() - start
+            self._charge_delta(stats, self.store.since(before))
+            answer_sets.append(answers)
+            stats_list.append(stats)
+        return answer_sets, stats_list
 
     def _tiled_batch_scan(
         self,
@@ -194,7 +299,7 @@ class SearchMethod(abc.ABC):
         tile: int,
         norms: np.ndarray | None,
         dots_for,
-    ) -> list[SearchResult]:
+    ) -> tuple[list[KnnAnswerSet], list[QueryStats]]:
         """Shared driver for vectorized batch scans over the raw data.
 
         One sequential pass in tiles of ``tile`` series; ``dots_for(block)``
@@ -203,7 +308,7 @@ class SearchMethod(abc.ABC):
         identity ``||q - c||^2 = ||q||^2 + ||c||^2 - 2 <q, c>``.  ``norms``
         are the precomputed candidate squared norms (computed on the fly when
         the method was built without them).  Accounting is amortized over the
-        batch via :meth:`_package_batch_results`.
+        batch via :meth:`_amortized_batch_stats`.
         """
         before = self.store.snapshot()
         start_time = time.perf_counter()
@@ -213,7 +318,7 @@ class SearchMethod(abc.ABC):
             d = data.astype(np.float64)
             norms = np.einsum("ij,ij->i", d, d)
         q_norms = np.einsum("ij,ij->i", queries, queries)
-        answer_sets = [KnnAnswerSet(k) for _ in range(queries.shape[0])]
+        answer_sets = [self._make_answer_set(k) for _ in range(queries.shape[0])]
         for start in range(0, self.store.count, tile):
             stop = min(start + tile, self.store.count)
             block = data[start:stop].astype(np.float64)
@@ -227,12 +332,12 @@ class SearchMethod(abc.ABC):
 
         elapsed = time.perf_counter() - start_time
         delta = self.store.since(before)
-        return self._package_batch_results(answer_sets, elapsed, delta)
+        return answer_sets, self._amortized_batch_stats(len(answer_sets), elapsed, delta)
 
-    def _package_batch_results(
-        self, answer_sets: list[KnnAnswerSet], elapsed: float, delta
-    ) -> list[SearchResult]:
-        """Package per-query answers produced by one shared batch pass.
+    def _amortized_batch_stats(
+        self, count: int, elapsed: float, delta
+    ) -> list[QueryStats]:
+        """Per-query stats for answers produced by one shared batch pass.
 
         The measured CPU time and the access counts of the shared scan are
         amortized evenly over the batch (integer counters distribute their
@@ -240,9 +345,8 @@ class SearchMethod(abc.ABC):
         is the accounting story of batched execution: ``Q`` queries share a
         single pass over the data.
         """
-        count = len(answer_sets)
-        results = []
-        for i, answers in enumerate(answer_sets):
+        stats_list = []
+        for i in range(count):
 
             def share(total: int) -> int:
                 return total // count + (1 if i < total % count else 0)
@@ -253,11 +357,8 @@ class SearchMethod(abc.ABC):
             stats.random_accesses = share(delta.random_accesses)
             stats.sequential_pages = share(delta.sequential_pages)
             stats.bytes_read = share(delta.bytes_read)
-            neighbors = answers.neighbors()
-            if neighbors:
-                stats.answer_distance = neighbors[0].distance
-            results.append(SearchResult(neighbors, stats))
-        return results
+            stats_list.append(stats)
+        return stats_list
 
     def knn_approximate(self, query: KnnQuery) -> SearchResult:
         """Answer an ng-approximate k-NN query (one index path, one leaf)."""

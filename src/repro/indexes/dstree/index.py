@@ -374,7 +374,7 @@ class DsTreeIndex(SearchMethod):
         return out
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         start_leaf = self._leaf_for(query)
         self._scan_leaf(start_leaf, query, answers, stats)
 
@@ -384,7 +384,8 @@ class DsTreeIndex(SearchMethod):
 
         def push(node: DsTreeNode, bound: float) -> None:
             stats.lower_bounds_computed += 1
-            if bound * bound < answers.worst_squared_distance:
+            # <=: equality must not prune (positional tie-break on equal distances).
+            if bound * bound <= answers.worst_squared_distance:
                 heapq.heappush(heap, (bound, next(counter), node))
 
         if self.root.synopsis is None:
@@ -393,7 +394,7 @@ class DsTreeIndex(SearchMethod):
             push(self.root, self.root.synopsis.lower_bound(query))
         while heap:
             bound, _, node = heapq.heappop(heap)
-            if bound * bound >= answers.worst_squared_distance:
+            if bound * bound > answers.worst_squared_distance:
                 break
             stats.nodes_visited += 1
             if node.is_leaf:

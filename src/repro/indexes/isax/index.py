@@ -301,7 +301,7 @@ class Isax2PlusIndex(SearchMethod):
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
         paa = self.summarizer.paa.transform(query)
         # Step 1: ng-approximate descent for the initial best-so-far.
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         start_leaf = self._leaf_for(paa)
         if start_leaf is not None:
             self._scan_leaf(start_leaf, query, answers, stats)
@@ -322,14 +322,17 @@ class Isax2PlusIndex(SearchMethod):
             stats.lower_bounds_computed += len(children)
             threshold = answers.worst_squared_distance
             for child, child_bound in zip(children, bounds):
-                if prune and child_bound * child_bound >= threshold:
+                # Strict >: a node whose bound ties the k-th distance may still
+                # hold an equal-distance answer that wins the positional
+                # tie-break, so equality must not prune.
+                if prune and child_bound * child_bound > threshold:
                     continue
                 heapq.heappush(heap, (float(child_bound), next(counter), child))
 
         push_children(self.root, prune=False)
         while heap:
             bound, _, node = heapq.heappop(heap)
-            if bound * bound >= answers.worst_squared_distance:
+            if bound * bound > answers.worst_squared_distance:
                 break
             stats.nodes_visited += 1
             if node.is_leaf:

@@ -265,13 +265,14 @@ class MTreeIndex(SearchMethod):
         return answers
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         counter = itertools.count()
         heap: list[tuple[float, int, MTreeNode, float]] = []
         heapq.heappush(heap, (0.0, next(counter), self.root, 0.0))
         while heap:
             bound, _, node, parent_distance = heapq.heappop(heap)
-            if bound * bound >= answers.worst_squared_distance:
+            # Strict >: equality must not prune (positional tie-break).
+            if bound * bound > answers.worst_squared_distance:
                 break
             if node.is_leaf:
                 self._scan_leaf(node, query, answers, stats, parent_distance)
@@ -281,7 +282,7 @@ class MTreeIndex(SearchMethod):
                 dist = euclidean(query, entry.vector)
                 stats.lower_bounds_computed += 1
                 lower = max(0.0, dist - entry.radius)
-                if lower * lower < answers.worst_squared_distance:
+                if lower * lower <= answers.worst_squared_distance:
                     heapq.heappush(heap, (lower, next(counter), entry.subtree, dist))
         return answers
 
@@ -318,14 +319,16 @@ class MTreeIndex(SearchMethod):
     def _knn_bounded(
         self, query: np.ndarray, k: int, stats: QueryStats, epsilon: float
     ) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         inflation = (1.0 + epsilon) ** 2
         counter = itertools.count()
         heap: list[tuple[float, int, MTreeNode, float]] = []
         heapq.heappush(heap, (0.0, next(counter), self.root, 0.0))
         while heap:
             bound, _, node, parent_distance = heapq.heappop(heap)
-            if bound * bound * inflation >= answers.worst_squared_distance:
+            # Strict >: with epsilon = 0 this is the exact algorithm, so
+            # equality must not prune (positional tie-break).
+            if bound * bound * inflation > answers.worst_squared_distance:
                 break
             if node.is_leaf:
                 self._scan_leaf(node, query, answers, stats, parent_distance)
@@ -335,7 +338,7 @@ class MTreeIndex(SearchMethod):
                 dist = euclidean(query, entry.vector)
                 stats.lower_bounds_computed += 1
                 lower = max(0.0, dist - entry.radius)
-                if lower * lower * inflation < answers.worst_squared_distance:
+                if lower * lower * inflation <= answers.worst_squared_distance:
                     heapq.heappush(heap, (lower, next(counter), entry.subtree, dist))
         return answers
 

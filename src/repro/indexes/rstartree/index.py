@@ -375,14 +375,15 @@ class RStarTreeIndex(SearchMethod):
         return answers
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         query_paa = self.summarizer.transform(query)
         counter = itertools.count()
         heap: list[tuple[float, int, RStarNode]] = []
         heapq.heappush(heap, (self._mindist(query_paa, self.root), next(counter), self.root))
         while heap:
             bound, _, node = heapq.heappop(heap)
-            if bound * bound >= answers.worst_squared_distance:
+            # Strict >: equality must not prune (positional tie-break).
+            if bound * bound > answers.worst_squared_distance:
                 break
             if node.is_leaf:
                 self._scan_leaf(node, query, answers, stats)
@@ -391,7 +392,7 @@ class RStarTreeIndex(SearchMethod):
             for child in node.children:
                 child_bound = self._mindist(query_paa, child)
                 stats.lower_bounds_computed += 1
-                if child_bound * child_bound < answers.worst_squared_distance:
+                if child_bound * child_bound <= answers.worst_squared_distance:
                     heapq.heappush(heap, (child_bound, next(counter), child))
         return answers
 

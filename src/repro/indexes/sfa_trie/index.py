@@ -316,7 +316,7 @@ class SfaTrieIndex(SearchMethod):
         return answers
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         word = self.summarizer.transform(query)
         query_dft = self.summarizer.dft_of(query)
         start_leaf = self._leaf_for(word)
@@ -334,14 +334,15 @@ class SfaTrieIndex(SearchMethod):
             stats.lower_bounds_computed += len(children)
             threshold = answers.worst_squared_distance
             for child, child_bound in zip(children, bounds):
-                if prune and child_bound * child_bound >= threshold:
+                # Strict >: equality must not prune (positional tie-break).
+                if prune and child_bound * child_bound > threshold:
                     continue
                 heapq.heappush(heap, (float(child_bound), next(counter), child))
 
         push_children(self.root, prune=False)
         while heap:
             bound, _, node = heapq.heappop(heap)
-            if bound * bound >= answers.worst_squared_distance:
+            if bound * bound > answers.worst_squared_distance:
                 break
             stats.nodes_visited += 1
             if node.is_leaf:

@@ -76,7 +76,7 @@ class StepwiseIndex(SearchMethod):
 
     # -- search ---------------------------------------------------------------------
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         query_coeffs = haar_transform(query)
         candidates = np.arange(self.store.count)
         partial = np.zeros(self.store.count, dtype=np.float64)

@@ -104,7 +104,7 @@ class VaPlusFileIndex(SearchMethod):
         return answers
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         query_dft = self.summarizer.dft_of(query)
 
         # Phase 1: sequential scan of the approximation file.
@@ -113,19 +113,21 @@ class VaPlusFileIndex(SearchMethod):
         order = np.argsort(bounds, kind="stable")
 
         # Phase 2: refinement in lower-bound order with early termination.
+        # Strict >: a candidate whose bound ties the k-th distance may still
+        # win the positional tie-break, so equality must not terminate.
         cursor = 0
         total = order.shape[0]
         while cursor < total:
             threshold = answers.worst_squared_distance
             bound = bounds[order[cursor]]
-            if bound * bound >= threshold:
+            if bound * bound > threshold:
                 break
             batch = [int(order[cursor])]
             cursor += 1
             while (
                 cursor < total
                 and len(batch) < self.refinement_batch
-                and bounds[order[cursor]] ** 2 < threshold
+                and bounds[order[cursor]] ** 2 <= threshold
             ):
                 batch.append(int(order[cursor]))
                 cursor += 1

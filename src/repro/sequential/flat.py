@@ -18,7 +18,7 @@ import numpy as np
 from ..core.answers import KnnAnswerSet
 from ..core.stats import QueryStats
 from ..core.storage import SeriesStore
-from ..indexes.base import SearchMethod, SearchResult
+from ..indexes.base import SearchMethod
 
 __all__ = ["FlatScan"]
 
@@ -59,7 +59,7 @@ class FlatScan(SearchMethod):
         return norms
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         data = self.store.scan()
         stats.series_examined += self.store.count
         norms = self._candidate_norms(data)
@@ -73,7 +73,7 @@ class FlatScan(SearchMethod):
             answers.offer_batch(np.arange(start, stop), distances)
         return answers
 
-    def knn_exact_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
+    def _batch_answer_sets(self, queries: np.ndarray, k: int):
         """Exact k-NN for a whole query batch in one tiled distance-matrix pass.
 
         One GEMM per tile produces the ``(Q, tile)`` dot-product block shared
@@ -82,11 +82,9 @@ class FlatScan(SearchMethod):
         calling :meth:`knn_exact` per query (up to floating-point rounding of
         the underlying matrix product).
         """
-        self._require_built()
-        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         # One GEMM per tile: the dot products of the whole batch at once.
         return self._tiled_batch_scan(
-            qs, k, self.tile_series, self._norms, lambda block: qs @ block.T
+            queries, k, self.tile_series, self._norms, lambda block: queries @ block.T
         )
 
     def describe(self) -> dict:

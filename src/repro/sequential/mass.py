@@ -15,7 +15,7 @@ import numpy as np
 from ..core.answers import KnnAnswerSet
 from ..core.stats import QueryStats
 from ..core.storage import SeriesStore
-from ..indexes.base import SearchMethod, SearchResult
+from ..indexes.base import SearchMethod
 
 __all__ = ["MassScan"]
 
@@ -46,7 +46,7 @@ class MassScan(SearchMethod):
         self._norms = np.einsum("ij,ij->i", data.astype(np.float64), data.astype(np.float64))
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         data = self.store.scan()
         stats.series_examined += self.store.count
         norms = self._norms
@@ -68,7 +68,7 @@ class MassScan(SearchMethod):
             answers.offer_batch(np.arange(start, start + block.shape[0]), distances)
         return answers
 
-    def knn_exact_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
+    def _batch_answer_sets(self, queries: np.ndarray, k: int):
         """Exact k-NN for a whole query batch with shared candidate FFTs.
 
         The expensive side of MASS is transforming the candidates; in the
@@ -78,8 +78,7 @@ class MassScan(SearchMethod):
         ``irfft(block_fft * conj(q_fft))[..., 0]``, with conjugate-symmetry
         weights folding the hermitian half-spectrum).
         """
-        self._require_built()
-        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        qs = queries
         n = self.store.length
         q_fft = np.fft.rfft(qs, n=n, axis=1)  # (Q, F)
         # Hermitian weights: DC (and Nyquist for even n) count once, the

@@ -54,7 +54,7 @@ class UcrSuiteScan(SearchMethod):
         """Sequential methods have no build step."""
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
-        answers = KnnAnswerSet(k)
+        answers = self._make_answer_set(k)
         data = self.store.scan()
         stats.series_examined += self.store.count
 
@@ -74,7 +74,10 @@ class UcrSuiteScan(SearchMethod):
         for position in range(seed, self.store.count):
             threshold = answers.worst_squared_distance
             distance = early_abandon_reordered(query, data[position], threshold, order)
-            if distance < threshold:
+            # <=: a distance tying the k-th value may still win the positional
+            # tie-break inside offer (abandoning only triggers strictly above
+            # the threshold, so tied candidates are fully computed).
+            if distance <= threshold:
                 answers.offer(position, distance)
         return answers
 
