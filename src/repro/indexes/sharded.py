@@ -1,0 +1,458 @@
+"""Parallel sharded execution: any method, partitioned and run on all cores.
+
+:class:`ShardedMethod` splits a :class:`~repro.core.storage.SeriesStore` into
+``shards`` contiguous partitions, builds one instance of any registered
+:class:`~repro.indexes.base.SearchMethod` per partition (concurrently), and
+answers queries by fanning out over the shards on a thread pool:
+
+* **k-NN**: every shard searches its partition; shards publish their local
+  best-so-far into a :class:`~repro.core.parallel.SharedRadius` (a
+  lock-guarded, monotonically tightening squared threshold) that the other
+  shards read to prune harder.  The per-shard
+  :class:`~repro.core.answers.KnnAnswerSet` results are merged with the
+  deterministic ``(distance, position)`` tie-break, so the merged answers are
+  **byte-identical** to running the unsharded method — and identical for any
+  worker count, including ``workers=1``.
+* **batch k-NN**: the query batch is chunked and every (shard, chunk) pair is
+  one task, so inter-query and intra-query parallelism compose; each query
+  carries its own shared radius across shards, and shards with a vectorized
+  batch path (flat, MASS) keep it per shard.  (For those two
+  GEMM-based batch kernels the *distances* may differ from the unsharded
+  batch call in the final ulp — BLAS blocking depends on tile shape — exactly
+  the caveat the batch API already carries relative to per-query search; the
+  per-query and tree batch paths remain byte-identical.)
+* **range / epsilon queries**: same fan-out, with concatenated match lists
+  (range) or merged bounded answer sets (the M-tree's epsilon search).
+
+Accounting follows the library's per-worker protocol: every task reads
+through a *forked* shard store (fresh counter), and the coordinating thread
+merges the forks into the sharded store's counter after the join — per-query
+stats are the exact sum of the per-shard stats.
+
+The wrapper is itself a :class:`SearchMethod`, registered under the name
+prefix ``"sharded:<inner>"`` (e.g. ``create_method("sharded:isax2+", store,
+shards=4, workers=4, leaf_capacity=100)``), so engines, runners, benchmarks,
+and persistence treat it like any other method.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
+from ..core.parallel import SharedRadius, chunk_slices, parallel_map, resolve_workers
+from ..core.queries import KnnQuery
+from ..core.series import Dataset
+from ..core.stats import QueryStats
+from ..core.storage import SeriesStore
+from .base import SearchMethod, SearchResult
+
+__all__ = ["ShardedMethod", "SharedKnnAnswerSet"]
+
+#: guards lazy creation of per-method worker pools (concurrent first queries).
+_POOL_CREATION_LOCK = threading.Lock()
+
+
+class SharedKnnAnswerSet(KnnAnswerSet):
+    """A k-NN answer set whose pruning threshold is tightened across shards.
+
+    The *content* of the set is purely local (each shard keeps its own top-k),
+    but the :attr:`worst_squared_distance` read by the shard's pruning logic
+    is the minimum of the local threshold and the global
+    :class:`~repro.core.parallel.SharedRadius`.  The shared value is an upper
+    bound on the final merged k-th distance, so pruning against it never
+    discards a merged-top-k candidate; it only skips work another shard has
+    already made redundant.  Admissions publish the local threshold back.
+    """
+
+    def __init__(self, k: int, shared: SharedRadius) -> None:
+        super().__init__(k)
+        self._shared = shared
+
+    @property
+    def worst_squared_distance(self) -> float:
+        local = KnnAnswerSet.worst_squared_distance.fget(self)
+        return min(local, self._shared.value)
+
+    def offer(self, position: int, squared_distance: float) -> bool:
+        admitted = super().offer(position, squared_distance)
+        if admitted:
+            local = KnnAnswerSet.worst_squared_distance.fget(self)
+            if local < float("inf"):
+                self._shared.tighten(local)
+        return admitted
+
+
+@dataclass
+class _Shard:
+    """One partition: its global offset, its store, and its inner method."""
+
+    index: int
+    offset: int
+    store: SeriesStore | None
+    method: SearchMethod
+
+
+class ShardedMethod(SearchMethod):
+    """Partition-parallel wrapper around any registered search method.
+
+    Parameters
+    ----------
+    store:
+        The raw-data store over the full collection.
+    inner:
+        Registry name of the wrapped method (``"isax2+"``, ``"flat"``, ...).
+        Wrapping another sharded method is rejected.
+    shards:
+        Number of contiguous partitions (default: the worker count).  Clamped
+        to the collection size.
+    workers:
+        Thread-pool width for builds and searches (default: ``REPRO_WORKERS``
+        or the CPU count).  ``workers=1`` runs the identical code path
+        sequentially.
+    inner_params / **params:
+        Forwarded to every inner method's constructor.
+    """
+
+    name = "sharded"
+    is_index = True
+    supports_bulk_build = False
+
+    def __init__(
+        self,
+        store: SeriesStore,
+        inner: str = "flat",
+        shards: int | None = None,
+        workers: int | None = None,
+        inner_params: dict | None = None,
+        **params,
+    ) -> None:
+        inner_name = str(inner).lower()
+        if inner_name.startswith("sharded"):
+            raise ValueError("sharded methods cannot be nested")
+        self.inner_name = inner_name
+        merged = dict(inner_params or {})
+        merged.update(params)
+        self.inner_params = merged
+        self.workers = resolve_workers(workers)
+        self._requested_shards = int(shards) if shards is not None else self.workers
+        if self._requested_shards <= 0:
+            raise ValueError("shards must be a positive integer")
+        self._shards: list[_Shard] = []
+        self._pool: ThreadPoolExecutor | None = None
+        super().__init__(store)
+        self._shards = self._plan_shards(store)
+        self.name = f"sharded:{self.inner_name}"
+        self.index_stats.method = self.name
+        self.supports_approximate = bool(
+            self._shards and self._shards[0].method.supports_approximate
+        )
+
+    # -- shard planning ---------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _plan_shards(self, store: SeriesStore) -> list[_Shard]:
+        from ..core.registry import create_method
+
+        shards: list[_Shard] = []
+        for i, sl in enumerate(chunk_slices(store.count, self._requested_shards)):
+            shard_store = self._shard_store(store, i, sl)
+            method = create_method(self.inner_name, shard_store, **self.inner_params)
+            shards.append(
+                _Shard(index=i, offset=sl.start, store=shard_store, method=method)
+            )
+        return shards
+
+    def _shard_store(self, store: SeriesStore, index: int, sl: slice) -> SeriesStore:
+        dataset = Dataset(
+            values=store.dataset.values[sl],  # zero-copy contiguous view
+            name=f"{store.dataset.name}#shard{index}",
+            normalized=store.dataset.normalized,
+        )
+        return SeriesStore(dataset, page_bytes=store.page_bytes)
+
+    def _on_store_attached(self, store: SeriesStore | None) -> None:
+        # Re-slice shard stores whenever the base store is (re-)attached —
+        # this is how a persisted sharded index reconnects to live data.
+        if store is None or not getattr(self, "_shards", None):
+            return
+        for shard, sl in zip(
+            self._shards, chunk_slices(store.count, len(self._shards))
+        ):
+            shard.offset = sl.start
+            shard.store = self._shard_store(store, shard.index, sl)
+            shard.method.store = shard.store
+
+    def _executor(self) -> ThreadPoolExecutor | None:
+        """The method's persistent worker pool (lazily created).
+
+        Serving-path fan-outs reuse it so a query costs task submission, not
+        thread spawn + join.  ``workers=1`` never creates one.
+        """
+        if self.workers <= 1:
+            return None
+        if self._pool is None:
+            # Double-checked creation: concurrent first queries (e.g. batch
+            # chunks from parallel_batch_search) must share one pool rather
+            # than racing workers^2 threads into existence.
+            with _POOL_CREATION_LOCK:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix=f"sharded-{self.inner_name}",
+                    )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent).
+
+        Worker threads are non-daemon and outlive a discarded method object
+        until interpreter exit, so long-lived processes that rebuild sharded
+        methods (data refreshes, benchmark sweeps) should close the old
+        instance.  The method remains usable afterwards — the next parallel
+        call lazily creates a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["_pool"] = None  # executors are not picklable; recreated lazily
+        if state.get("_base_store") is None:
+            # Persistence detaches the top store before pickling; detach the
+            # shard stores too so no raw data lands in the index file.  The
+            # stores are rebuilt by ``_on_store_attached`` when a store is
+            # reassigned (which ``save_method`` does right after pickling).
+            for shard in self._shards:
+                shard.store = None
+                shard.method.store = None
+        return state
+
+    # -- construction -----------------------------------------------------------
+    def _build(self) -> None:
+        """Build every shard concurrently and aggregate the index stats."""
+
+        def build_one(shard: _Shard):
+            shard.method.build()
+            return shard.method.index_stats
+
+        shard_stats = parallel_map(
+            build_one, self._shards, self.workers, pool=self._executor()
+        )
+        counter = self.store.counter
+        total = self.index_stats
+        for shard, stats in zip(self._shards, shard_stats):
+            counter.merge(shard.store.counter)
+            total.total_nodes += stats.total_nodes
+            total.leaf_nodes += stats.leaf_nodes
+            total.memory_bytes += stats.memory_bytes
+            total.disk_bytes += stats.disk_bytes
+            total.leaf_fill_factors.extend(stats.leaf_fill_factors)
+            total.leaf_depths.extend(stats.leaf_depths)
+
+    def _collect_footprint(self) -> None:
+        """Aggregated in :meth:`_build`; nothing further to collect."""
+
+    def append(self, position: int) -> None:
+        raise NotImplementedError(
+            "sharded methods do not support appends; rebuild with the new data"
+        )
+
+    # -- shard task helpers -------------------------------------------------------
+    def _fan_out(self, run_shard):
+        """Run ``run_shard(shard, reader)`` per shard; merge forked counters.
+
+        Every shard gets a forked store (private counter) for the duration of
+        the call; after the ordered join the forks are merged into the current
+        thread's store counter, so accounting rolls up exactly once whether
+        this search runs standalone or nested under an outer execution
+        context.
+        """
+
+        def one(shard: _Shard):
+            reader = shard.store.fork()
+            result = run_shard(shard, reader)
+            return result, reader.counter
+
+        outputs = parallel_map(one, self._shards, self.workers, pool=self._executor())
+        counter = self.store.counter
+        results = []
+        for result, fork_counter in outputs:
+            counter.merge(fork_counter)
+            results.append(result)
+        return results
+
+    # -- search -------------------------------------------------------------------
+    def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
+        shared = SharedRadius()
+
+        def run_shard(shard: _Shard, reader: SeriesStore):
+            local = QueryStats(dataset_size=reader.count)
+            factory = lambda kk: SharedKnnAnswerSet(kk, shared)  # noqa: E731
+            with shard.method.execution_context(store=reader, answer_factory=factory):
+                answers = shard.method._knn_exact(query, k, local)
+            return answers, local
+
+        merged = self._make_answer_set(k)
+        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+            merged.merge(answers, position_offset=shard.offset)
+            self._merge_query_stats(stats, local)
+        return merged
+
+    def _knn_approximate(
+        self, query: np.ndarray, k: int, stats: QueryStats
+    ) -> KnnAnswerSet:
+        """ng-approximate search: one descent per shard, merged."""
+
+        def run_shard(shard: _Shard, reader: SeriesStore):
+            local = QueryStats(dataset_size=reader.count)
+            with shard.method.execution_context(store=reader):
+                answers = shard.method._knn_approximate(query, k, local)
+            return answers, local
+
+        merged = self._make_answer_set(k)
+        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+            merged.merge(answers, position_offset=shard.offset)
+            self._merge_query_stats(stats, local)
+        return merged
+
+    def _range_exact(
+        self, query: np.ndarray, radius: float, stats: QueryStats
+    ) -> RangeAnswerSet:
+        def run_shard(shard: _Shard, reader: SeriesStore):
+            local = QueryStats(dataset_size=reader.count)
+            with shard.method.execution_context(store=reader):
+                answers = shard.method._range_exact(query, radius, local)
+            return answers, local
+
+        merged = RangeAnswerSet(radius=radius)
+        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+            merged.matches.extend(
+                Neighbor(distance=n.distance, position=n.position + shard.offset)
+                for n in answers.matches
+            )
+            self._merge_query_stats(stats, local)
+        return merged
+
+    def _batch_answer_sets(self, queries: np.ndarray, k: int):
+        """Batch fan-out: (shard x query-chunk) tasks on one pool.
+
+        Chunking the batch adds inter-query parallelism on top of the shard
+        fan-out when there are more workers than shards; each shard applies
+        its own (possibly vectorized) batch path to every chunk.  Every query
+        gets its own :class:`~repro.core.parallel.SharedRadius`, so — exactly
+        like the single-query path — an answer found for query ``j`` in one
+        shard tightens every other shard's pruning for query ``j``.  The
+        radii are wired in through the answer-set factory, relying on the
+        ``_batch_answer_sets`` contract that implementations create exactly
+        one answer set per query, in query order (violations raise rather
+        than silently crossing radii between queries).
+        """
+        total = queries.shape[0]
+        if total == 0:
+            return [], []
+        chunk_count = max(1, min(total, -(-self.workers // max(1, len(self._shards)))))
+        chunks = chunk_slices(total, chunk_count)
+        tasks = [(shard, sl) for sl in chunks for shard in self._shards]
+        radii = [SharedRadius() for _ in range(total)]
+
+        def radius_factory(sl: slice):
+            pending = iter(range(sl.start, sl.stop))
+
+            def factory(kk: int) -> SharedKnnAnswerSet:
+                try:
+                    j = next(pending)
+                except StopIteration:
+                    raise RuntimeError(
+                        "_batch_answer_sets created more answer sets than "
+                        "queries; implementations must create exactly one "
+                        "answer set per query, in query order"
+                    ) from None
+                return SharedKnnAnswerSet(kk, radii[j])
+
+            return factory
+
+        def one(task):
+            shard, sl = task
+            reader = shard.store.fork()
+            with shard.method.execution_context(
+                store=reader, answer_factory=radius_factory(sl)
+            ):
+                sets, stats_list = shard.method._batch_answer_sets(queries[sl], k)
+            return sets, stats_list, reader.counter
+
+        outputs = parallel_map(one, tasks, self.workers, pool=self._executor())
+        merged_sets = [self._make_answer_set(k) for _ in range(total)]
+        merged_stats = [QueryStats(dataset_size=self.store.count) for _ in range(total)]
+        counter = self.store.counter
+        for (shard, sl), (sets, stats_list, fork_counter) in zip(tasks, outputs):
+            counter.merge(fork_counter)
+            for within, (answers, shard_stats) in enumerate(zip(sets, stats_list)):
+                j = sl.start + within
+                merged_sets[j].merge(answers, position_offset=shard.offset)
+                self._merge_query_stats(merged_stats[j], shard_stats)
+        return merged_sets, merged_stats
+
+    def knn_epsilon(self, query: KnnQuery, epsilon: float = 0.0) -> SearchResult:
+        """Epsilon-approximate k-NN fan-out (inner method must support it).
+
+        Each shard runs the inner bounded search; merged answers keep the
+        per-shard ``(1 + epsilon)`` guarantee (with ``epsilon = 0`` the result
+        is byte-identical to exact search).  Currently the M-tree is the one
+        inner method offering this interface.
+        """
+        self._require_built()
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not all(hasattr(s.method, "_knn_bounded") for s in self._shards):
+            raise NotImplementedError(
+                f"{self.inner_name} does not support epsilon-approximate search"
+            )
+        before = self.store.snapshot()
+        stats = QueryStats(dataset_size=self.store.count)
+        series = np.asarray(query.series, dtype=np.float64)
+        start = time.perf_counter()
+
+        def run_shard(shard: _Shard, reader: SeriesStore):
+            local = QueryStats(dataset_size=reader.count)
+            with shard.method.execution_context(store=reader):
+                answers = shard.method._knn_bounded(series, query.k, local, epsilon)
+            return answers, local
+
+        merged = self._make_answer_set(query.k)
+        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+            merged.merge(answers, position_offset=shard.offset)
+            self._merge_query_stats(stats, local)
+        stats.cpu_seconds = time.perf_counter() - start
+        self._charge_delta(stats, self.store.since(before))
+        return self._package_result(merged, stats)
+
+    @staticmethod
+    def _merge_query_stats(total: QueryStats, shard_stats: QueryStats) -> None:
+        """Fold one shard's per-query stats into the merged totals.
+
+        Every additive counter sums (``QueryStats.merge``); the dataset size
+        stays the full collection's so pruning ratios read globally.
+        """
+        dataset_size = total.dataset_size
+        total.merge(shard_stats)
+        total.dataset_size = max(dataset_size, shard_stats.dataset_size)
+
+    # -- description ----------------------------------------------------------------
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            inner=self.inner_name,
+            shards=self.shard_count,
+            workers=self.workers,
+            inner_params=dict(self.inner_params),
+        )
+        return info
