@@ -1,0 +1,274 @@
+"""Out-of-core serving: build + query throughput and peak RSS, memory vs mmap.
+
+The point of the storage-backend layer is that a dataset file larger than RAM
+can be built over and queried without ever materializing the collection.  This
+benchmark makes that claim measurable:
+
+1. a random-walk dataset is *streamed* to a ``.npy`` file chunk-by-chunk
+   (bounded generation memory, any size);
+2. for each (method, backend) pair, a **separate subprocess** opens the file,
+   builds the method, answers a query workload per-query and as one batch, and
+   reports its ``ru_maxrss`` — a per-phase peak-RSS high-water mark, which a
+   single shared process could not provide;
+3. the parent verifies the answers are **byte-identical** across backends
+   (positions and distances hashed in the child) and writes everything to a
+   JSON artifact (``BENCH_outofcore.json``) for CI archiving.
+
+On the memory backend the collection (plus float64 staging) lands in the
+process heap; on the mmap backend the flat scan's streamed chunk passes drop
+consumed pages, so its resident set stays far below the raw file size.  The
+``--require-gates`` mode enforces exactly that: the flat scan's mmap peak RSS
+must stay below the raw file size and below the memory backend's peak
+(meaningful only in the full-size run, where the file dwarfs interpreter
+overhead; the smoke run records the numbers without gating).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py            # full (~100 MiB file)
+    PYTHONPATH=src python benchmarks/bench_outofcore.py --smoke    # CI
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+#: (method, params) pairs covering the acceptance surface: a streamed scan, a
+#: tree index, and the parallel sharded wrapper.
+METHODS = {
+    "flat": {},
+    "isax2+": {"leaf_capacity": 1000},
+    "sharded:flat": {"shards": 2, "workers": 2},
+}
+
+BACKENDS = ("memory", "mmap")
+
+
+def _peak_rss_bytes() -> int:
+    # Prefer VmHWM: it is per-address-space and resets on exec, whereas Linux
+    # ru_maxrss survives fork+exec and would report the *parent's* high-water
+    # mark as the child's floor.
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def _child(spec: dict) -> dict:
+    """One (method, backend) phase, run in its own process for honest RSS."""
+    import numpy as np
+
+    from repro import Dataset, SeriesStore, create_method
+    from repro.workloads import synth_rand_workload
+
+    startup_rss = _peak_rss_bytes()
+    dataset = Dataset.from_file(spec["path"])
+    store = SeriesStore(dataset, backend=spec["backend"])
+    method = create_method(spec["method"], store, **spec["params"])
+
+    start = time.perf_counter()
+    method.build()
+    build_seconds = time.perf_counter() - start
+
+    queries = np.vstack(
+        [
+            np.asarray(q.series, dtype=np.float64)
+            for q in synth_rand_workload(dataset.length, count=spec["queries"], seed=77)
+        ]
+    )
+    k = spec["k"]
+
+    digest = hashlib.sha256()
+    start = time.perf_counter()
+    for q in queries:
+        result = method.knn_exact_batch(q[np.newaxis, :], k=k)[0]
+        digest.update(repr(result.positions()).encode())
+        digest.update(repr(result.distances()).encode())
+    per_query_seconds = (time.perf_counter() - start) / len(queries)
+
+    start = time.perf_counter()
+    batch = method.knn_exact_batch(queries, k=k)
+    batch_seconds = time.perf_counter() - start
+    for result in batch:
+        digest.update(repr(result.positions()).encode())
+        digest.update(repr(result.distances()).encode())
+
+    if hasattr(method, "close"):
+        method.close()
+    return {
+        "method": spec["method"],
+        "backend": spec["backend"],
+        "count": dataset.count,
+        "length": dataset.length,
+        "build_s": build_seconds,
+        "query_s": per_query_seconds,
+        "batch_queries_per_s": len(queries) / batch_seconds,
+        "answers_digest": digest.hexdigest(),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "startup_rss_bytes": startup_rss,
+    }
+
+
+def run(path: str, queries: int, k: int) -> list[dict]:
+    rows = []
+    for method, params in METHODS.items():
+        for backend in BACKENDS:
+            spec = {
+                "path": path,
+                "method": method,
+                "params": params,
+                "backend": backend,
+                "queries": queries,
+                "k": k,
+            }
+            proc = subprocess.run(
+                [sys.executable, os.path.abspath(__file__), "--_child", json.dumps(spec)],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{method}/{backend} child failed:\n{proc.stderr}"
+                )
+            rows.append(json.loads(proc.stdout))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized run")
+    parser.add_argument("--count", type=int, default=200_000, help="series in the dataset")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=20, help="queries in the workload")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per query")
+    parser.add_argument(
+        "--dataset-file",
+        default=None,
+        help="reuse an existing dataset file instead of generating one",
+    )
+    parser.add_argument(
+        "--require-gates",
+        action="store_true",
+        help="fail unless the flat scan's mmap peak RSS stays below the raw "
+        "file size and below the memory backend's peak (full-size runs only)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_outofcore.json",
+        help="path for the JSON results ('' disables writing)",
+    )
+    parser.add_argument("--_child", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args._child is not None:
+        print(json.dumps(_child(json.loads(args._child))))
+        return 0
+
+    if args.smoke:
+        args.count, args.length, args.queries = 4_000, 64, 8
+
+    tmpdir = None
+    if args.dataset_file:
+        path = args.dataset_file
+        file_bytes = os.path.getsize(path)
+    else:
+        from repro.workloads import random_walk_to_file
+
+        tmpdir = tempfile.TemporaryDirectory(prefix="bench-outofcore-")
+        path = os.path.join(tmpdir.name, "walks.npy")
+        start = time.perf_counter()
+        random_walk_to_file(path, args.count, args.length, seed=2018, chunk_size=16384)
+        file_bytes = os.path.getsize(path)
+        print(
+            f"streamed {args.count} x {args.length} series "
+            f"({file_bytes / 2**20:.1f} MiB) in {time.perf_counter() - start:.1f}s"
+        )
+
+    try:
+        rows = run(path, args.queries, args.k)
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    by_method: dict[str, dict[str, dict]] = {}
+    for row in rows:
+        by_method.setdefault(row["method"], {})[row["backend"]] = row
+
+    print(f"\nout-of-core serving — {file_bytes / 2**20:.1f} MiB raw file")
+    print(
+        f"{'method':<14} {'backend':<8} {'build s':>8} {'query s':>9} "
+        f"{'batch q/s':>10} {'peak RSS MiB':>13} {'answers':>8}"
+    )
+    failed = False
+    for method, backends in by_method.items():
+        match = (
+            backends["memory"]["answers_digest"] == backends["mmap"]["answers_digest"]
+        )
+        if not match:
+            print(f"FAIL: {method} answers differ across backends", file=sys.stderr)
+            failed = True
+        for backend in BACKENDS:
+            row = backends[backend]
+            row["answers_match"] = match
+            print(
+                f"{method:<14} {backend:<8} {row['build_s']:>8.2f} "
+                f"{row['query_s']:>9.4f} {row['batch_queries_per_s']:>10.1f} "
+                f"{row['peak_rss_bytes'] / 2**20:>13.1f} "
+                f"{'match' if match else 'DIFFER':>8}"
+            )
+
+    if args.require_gates:
+        flat = by_method["flat"]
+        mmap_rss = flat["mmap"]["peak_rss_bytes"]
+        if mmap_rss >= file_bytes:
+            print(
+                f"FAIL: flat/mmap peak RSS {mmap_rss / 2**20:.1f} MiB is not below "
+                f"the raw file size {file_bytes / 2**20:.1f} MiB",
+                file=sys.stderr,
+            )
+            failed = True
+        if mmap_rss >= flat["memory"]["peak_rss_bytes"]:
+            print(
+                "FAIL: flat/mmap peak RSS is not below the memory backend's",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if args.json:
+        payload = {
+            "benchmark": "outofcore",
+            # The children report the actual file shape, which need not match
+            # the synthetic-generation defaults when --dataset-file is given.
+            "count": rows[0]["count"],
+            "length": rows[0]["length"],
+            "queries": args.queries,
+            "k": args.k,
+            "file_bytes": file_bytes,
+            "rows": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

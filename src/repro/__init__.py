@@ -23,17 +23,22 @@ from .core import (
     Dataset,
     KnnQuery,
     MatchingAccuracy,
+    MemoryBackend,
+    MmapBackend,
     Neighbor,
     QueryWorkload,
     RangeQuery,
     Recommendation,
+    SeriesFileWriter,
     SimilaritySearchEngine,
+    StorageBackend,
     available_methods,
     create_method,
     load_method,
     recommend_method,
     register_method,
     save_method,
+    write_series_file,
     znormalize,
 )
 from .core.registry import METHOD_NAMES
@@ -86,6 +91,11 @@ __all__ = [
     "QueryStats",
     "IndexStats",
     "SeriesStore",
+    "StorageBackend",
+    "MemoryBackend",
+    "MmapBackend",
+    "SeriesFileWriter",
+    "write_series_file",
     "HardwareModel",
     "HDD",
     "SSD",

@@ -7,19 +7,29 @@ without writing Python::
     python -m repro recommend --gb 100 --length 256
     python -m repro run --method dstree --count 5000 --length 128 --queries 10
     python -m repro compare --methods dstree,va+file,ucr-suite --count 2000
+    python -m repro synth --out walks.npy --count 1000000 --length 128
+    python -m repro run --method isax2+ --dataset-file walks.npy --backend mmap
 
 The ``run`` and ``compare`` commands generate a seeded random-walk dataset (or
 one of the real-dataset analogues), build the requested method(s), answer a
 query workload, and print the same measures the benchmark harness reports.
+``synth`` streams a dataset to disk chunk-by-chunk (collections larger than
+RAM are fine), and ``--dataset-file``/``--backend mmap`` serve such files
+memory-mapped, never materializing the collection.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+from contextlib import ExitStack
+from pathlib import Path
 
+from .core.backends import BACKEND_KINDS, RAW_SUFFIXES
 from .core.registry import available_methods
 from .core.engine import recommend_method
+from .core.series import Dataset
 from .evaluation.hardware import PLATFORMS
 from .evaluation.reporting import render_table
 from .evaluation.runner import run_experiment
@@ -79,12 +89,38 @@ def build_parser() -> argparse.ArgumentParser:
         default="dstree,va+file,ucr-suite",
         help="comma-separated method names ('sharded:<name>' wraps any of them)",
     )
+
+    synth = sub.add_parser(
+        "synth",
+        help="stream a synthetic dataset to a file (chunked writes: the "
+        "collection can be larger than RAM)",
+    )
+    synth.add_argument(
+        "--out",
+        required=True,
+        help="output path (.npy, or .f32/.raw/.bin for headerless raw float32)",
+    )
+    synth.add_argument("--count", type=int, required=True, help="number of series")
+    synth.add_argument("--length", type=int, required=True, help="series length")
+    synth.add_argument("--seed", type=int, default=2018, help="random seed")
+    synth.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="series generated per chunk (bounds peak memory)",
+    )
     return parser
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--count", type=int, default=2_000, help="number of series")
-    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="series length (default 128 for generated datasets; mandatory for "
+        f"raw {'/'.join(RAW_SUFFIXES)} dataset files, whose rows it defines)",
+    )
     parser.add_argument(
         "--dataset",
         default="random-walk",
@@ -112,12 +148,52 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         help="thread workers for parallel query serving and shard builds "
         "(default: 1; sharded methods default their shard count to this)",
     )
+    parser.add_argument(
+        "--dataset-file",
+        default=None,
+        help="serve an on-disk dataset (.npy, or raw f32 with --length) instead "
+        "of generating one; served memory-mapped by default",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKEND_KINDS,
+        help="storage backend: 'memory' loads the collection into RAM, 'mmap' "
+        "serves it from a file without materializing it (a generated dataset "
+        "is first spilled to a temporary file)",
+    )
 
 
-def _make_dataset(args: argparse.Namespace):
-    if args.dataset == "random-walk":
-        return random_walk_dataset(args.count, args.length, seed=args.seed)
-    return real_like_dataset(args.dataset, args.count, length=args.length, seed=args.seed)
+def _make_dataset(args: argparse.Namespace, stack: ExitStack):
+    """The dataset for a run/compare command, honoring file and backend flags.
+
+    ``--backend mmap`` without ``--dataset-file`` spills the generated
+    collection to a temporary file (cleaned up on exit) so the run still
+    exercises the out-of-core path.
+    """
+    if args.dataset_file:
+        path = Path(args.dataset_file)
+        if path.suffix.lower() in RAW_SUFFIXES and args.length is None:
+            # Raw files carry no shape: defaulting the length would silently
+            # reinterpret the rows, so demand an explicit one.
+            raise SystemExit(
+                f"--dataset-file {path}: raw {'/'.join(RAW_SUFFIXES)} files "
+                "need an explicit --length (the row width is not stored in "
+                "the file)"
+            )
+        dataset = Dataset.from_file(path, length=args.length)
+    else:
+        length = args.length if args.length is not None else 128
+        if args.dataset == "random-walk":
+            dataset = random_walk_dataset(args.count, length, seed=args.seed)
+        else:
+            dataset = real_like_dataset(
+                args.dataset, args.count, length=length, seed=args.seed
+            )
+    if args.backend == "mmap" and dataset.backend is None:
+        tmpdir = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-mmap-"))
+        dataset = dataset.to_mmap(Path(tmpdir) / "dataset.npy")
+    return dataset
 
 
 def _make_workload(args: argparse.Namespace, dataset):
@@ -190,19 +266,24 @@ def _command_run(args: argparse.Namespace, out) -> int:
             file=out,
         )
         return 2
-    dataset = _make_dataset(args)
-    workload = _make_workload(args, dataset)
-    result = run_experiment(
-        dataset,
-        workload,
-        args.method,
-        platform=PLATFORMS[args.platform],
-        method_params=_method_params(
-            args.method, args.leaf_size, workers=args.workers, shards=args.shards
-        ),
-        workers=args.workers,
-    )
-    print(render_table([_result_row(result)], title=f"{args.method} on {dataset.name}"), file=out)
+    with ExitStack() as stack:
+        dataset = _make_dataset(args, stack)
+        workload = _make_workload(args, dataset)
+        result = run_experiment(
+            dataset,
+            workload,
+            args.method,
+            platform=PLATFORMS[args.platform],
+            method_params=_method_params(
+                args.method, args.leaf_size, workers=args.workers, shards=args.shards
+            ),
+            workers=args.workers,
+            backend=args.backend,
+        )
+    title = f"{args.method} on {dataset.name}"
+    if args.backend:
+        title += f" [{args.backend}]"
+    print(render_table([_result_row(result)], title=title), file=out)
     return 0
 
 
@@ -212,25 +293,59 @@ def _command_compare(args: argparse.Namespace, out) -> int:
     if unknown:
         print(f"unknown methods: {', '.join(unknown)}", file=out)
         return 2
-    dataset = _make_dataset(args)
-    workload = _make_workload(args, dataset)
-    results = {}
-    rows = []
-    for name in names:
-        result = run_experiment(
-            dataset,
-            workload,
-            name,
-            platform=PLATFORMS[args.platform],
-            method_params=_method_params(name, workers=args.workers),
-            workers=args.workers,
-        )
-        results[name] = result
-        rows.append(_result_row(result))
+    with ExitStack() as stack:
+        dataset = _make_dataset(args, stack)
+        workload = _make_workload(args, dataset)
+        results = {}
+        rows = []
+        for name in names:
+            result = run_experiment(
+                dataset,
+                workload,
+                name,
+                platform=PLATFORMS[args.platform],
+                method_params=_method_params(name, workers=args.workers),
+                workers=args.workers,
+                backend=args.backend,
+            )
+            results[name] = result
+            rows.append(_result_row(result))
     print(render_table(rows, title=f"comparison on {dataset.name} ({args.platform})"), file=out)
     winners = best_method_per_scenario(results)
     winner_rows = [{"scenario": scenario, "winner": winner} for scenario, winner in winners.items()]
     print(render_table(winner_rows, title="best method per scenario"), file=out)
+    return 0
+
+
+def _command_synth(args: argparse.Namespace, out) -> int:
+    from .workloads.generators import random_walk_to_file
+
+    if args.count <= 0 or args.length <= 0 or args.chunk_size <= 0:
+        print("--count, --length, and --chunk-size must be positive", file=out)
+        return 2
+    dataset = random_walk_to_file(
+        args.out,
+        count=args.count,
+        length=args.length,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+    )
+    size = Path(args.out).stat().st_size
+    print(
+        f"wrote {dataset.count} x {dataset.length} series "
+        f"({size / (1024 * 1024):.1f} MiB) to {args.out}",
+        file=out,
+    )
+    length_hint = (
+        f" --length {args.length}"
+        if Path(args.out).suffix.lower() in RAW_SUFFIXES
+        else ""
+    )
+    print(
+        f"serve it with: repro run --method <name> --dataset-file {args.out}"
+        f"{length_hint} --backend mmap",
+        file=out,
+    )
     return 0
 
 
@@ -239,6 +354,7 @@ _COMMANDS = {
     "recommend": _command_recommend,
     "run": _command_run,
     "compare": _command_compare,
+    "synth": _command_synth,
 }
 
 

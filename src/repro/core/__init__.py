@@ -1,6 +1,13 @@
 """Core substrate: series containers, distances, storage simulation, engine."""
 
 from .answers import KnnAnswerSet, Neighbor, RangeAnswerSet
+from .backends import (
+    BACKEND_KINDS,
+    MemoryBackend,
+    MmapBackend,
+    StorageBackend,
+    resolve_backend,
+)
 from .buffer import BufferPool, BufferStats
 from .distance import (
     dynamic_time_warping,
@@ -15,7 +22,14 @@ from .engine import Recommendation, SimilaritySearchEngine, recommend_method
 from .persistence import dataset_fingerprint, load_method, save_method
 from .queries import KnnQuery, MatchingAccuracy, QueryWorkload, RangeQuery
 from .registry import METHOD_NAMES, available_methods, create_method, register_method
-from .series import SERIES_DTYPE, Dataset, is_znormalized, znormalize
+from .series import (
+    SERIES_DTYPE,
+    Dataset,
+    SeriesFileWriter,
+    is_znormalized,
+    write_series_file,
+    znormalize,
+)
 from .soa import GrowableArray
 from .stats import AccessCounter, IndexStats, QueryStats, aggregate_query_stats
 from .storage import DEFAULT_PAGE_BYTES, SeriesStore
@@ -49,6 +63,13 @@ __all__ = [
     "register_method",
     "Dataset",
     "SERIES_DTYPE",
+    "SeriesFileWriter",
+    "write_series_file",
+    "StorageBackend",
+    "MemoryBackend",
+    "MmapBackend",
+    "resolve_backend",
+    "BACKEND_KINDS",
     "GrowableArray",
     "znormalize",
     "is_znormalized",

@@ -1,0 +1,387 @@
+"""Pluggable storage backends: where the raw series bytes actually live.
+
+The paper's headline experiments run on disk-resident collections up to 1TB —
+far bigger than RAM — while this reproduction historically required the whole
+collection as one in-memory ndarray.  This module separates *where the bytes
+live* from *how accesses are accounted*: a :class:`StorageBackend` serves raw
+row reads, and :class:`~repro.core.storage.SeriesStore` layers the paper's
+page-granular accounting on top.  Two backends are provided:
+
+* :class:`MemoryBackend` — the historical behavior: an in-memory frozen array.
+* :class:`MmapBackend` — a memory-mapped ``.npy`` or raw-float32 file.  Reads
+  are served straight from the mapping, so the collection is never
+  materialized: the OS pages data in on demand and a dataset much larger than
+  RAM can be built and queried out-of-core.  Backends are picklable by *path*
+  (no raw data in the pickle) and :meth:`MmapBackend.fork` reopens the mapping
+  with a private file handle, which is the per-worker contract of the parallel
+  execution layer.
+
+Backends are deliberately accounting-free: every read primitive here is raw,
+and the counters (and therefore the simulated I/O models) are identical for
+every backend by construction, which is what makes memory/mmap answer- and
+counter-equivalence testable.
+"""
+
+from __future__ import annotations
+
+import abc
+import mmap as _mmap
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .series import RAW_SUFFIXES, SERIES_DTYPE
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "MmapBackend",
+    "resolve_backend",
+    "touch_pages",
+    "BACKEND_KINDS",
+    "RAW_SUFFIXES",
+]
+
+#: the named backend kinds accepted wherever a backend is chosen by string.
+BACKEND_KINDS = ("memory", "mmap")
+
+
+def touch_pages(array: np.ndarray) -> None:
+    """Fault in every OS page backing ``array`` (one element read per page).
+
+    Used by the measured-I/O calibration path: a memory-mapped read returns a
+    view without touching the file, so timing it would measure nothing.
+    Touching one element per page forces the actual page-ins while reading a
+    negligible fraction of the data.
+    """
+    if array.size == 0:
+        return
+    arr = array if array.flags.c_contiguous else np.ascontiguousarray(array)
+    flat = arr.reshape(-1)
+    step = max(1, 4096 // flat.itemsize)
+    float(flat[::step].sum())
+
+
+class StorageBackend(abc.ABC):
+    """Raw, accounting-free access to a collection of equal-length series.
+
+    Every read primitive returns arrays that must be treated as read-only
+    (in-memory reads are views into a frozen array; mapped reads are views
+    into a read-only mapping).  Accounting lives entirely in
+    :class:`~repro.core.storage.SeriesStore`, so swapping backends can never
+    change a method's counters.
+    """
+
+    kind: str = "abstract"
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def values(self) -> np.ndarray:
+        """The whole collection as one read-only ``(count, length)`` array.
+
+        For the mmap backend this is a lazy view into the mapping — returning
+        it costs nothing and slicing it reads only the touched rows.
+        """
+
+    @property
+    def count(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def length(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def series_bytes(self) -> int:
+        return int(self.length * self.dtype.itemsize)
+
+    @property
+    def source_path(self) -> str | None:
+        """Path of the backing file (``None`` for in-memory backends)."""
+        return None
+
+    # -- raw reads -----------------------------------------------------------
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``start:stop`` as a zero-copy view."""
+        return self.values[start:stop]
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """The rows at ``positions`` (a copy, by fancy-indexing semantics)."""
+        return self.values[positions]
+
+    def row(self, position: int) -> np.ndarray:
+        """One row as a zero-copy view."""
+        return self.values[position]
+
+    def get(self, key) -> np.ndarray:
+        """Arbitrary ndarray indexing (the store's unaccounted ``peek``)."""
+        return self.values[key]
+
+    # -- structure -----------------------------------------------------------
+    @abc.abstractmethod
+    def slice(self, start: int, stop: int) -> "StorageBackend":
+        """A zero-copy backend over the contiguous row range ``start:stop``.
+
+        This is how the sharded executor partitions a collection: each shard
+        store reads through a sliced backend, which for the mmap backend stays
+        picklable by (path, row range) with no raw data attached.
+        """
+
+    @abc.abstractmethod
+    def fork(self) -> "StorageBackend":
+        """A reader handle for one worker.
+
+        In-memory backends are stateless and return themselves; the mmap
+        backend reopens the mapping so each worker reads through a private
+        file handle.
+        """
+
+    def release(self, start: int = 0, stop: int | None = None) -> None:
+        """Drop any cached residency for rows ``start:stop`` (best effort).
+
+        A no-op for in-memory backends; the mmap backend advises the kernel
+        that the pages are no longer needed, which is what keeps the resident
+        set of a streaming scan bounded by the chunk size instead of the file
+        size.
+        """
+
+    def describe(self) -> dict:
+        """Provenance metadata recorded in persistence envelopes."""
+        return {
+            "kind": self.kind,
+            "source_path": self.source_path,
+            "count": self.count,
+            "length": self.length,
+            "dtype": str(self.dtype),
+        }
+
+
+class MemoryBackend(StorageBackend):
+    """The historical in-memory backend: one frozen ndarray.
+
+    The constructor clears the array's ``WRITEABLE`` flag — reads hand out
+    views, and freezing the backing array is what turns an accidental in-place
+    write into an error instead of silent corruption of the collection every
+    reader shares.
+    """
+
+    kind = "memory"
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=SERIES_DTYPE)
+        if values.ndim != 2:
+            raise ValueError(f"backend values must be 2-d; got ndim={values.ndim}")
+        values.setflags(write=False)
+        self._values = values
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def slice(self, start: int, stop: int) -> "MemoryBackend":
+        return MemoryBackend(self._values[start:stop])
+
+    def fork(self) -> "MemoryBackend":
+        return self
+
+
+class MmapBackend(StorageBackend):
+    """A memory-mapped ``.npy`` or raw-float32 file, served without loading.
+
+    Parameters
+    ----------
+    path:
+        File to map.  ``.npy`` files carry their own shape; files with a raw
+        suffix (``.f32``/``.raw``/``.bin``) are headerless little-endian
+        float32 rows and require ``length``.
+    length:
+        Series length; mandatory for raw files, validated for ``.npy``.
+    start / stop:
+        Optional contiguous row range, making the backend a zero-copy slice
+        of the file (used by the sharded executor).
+
+    The mapping is opened lazily and dropped on pickling, so backends travel
+    as (path, row range) only; unpickling (or :meth:`fork`) reopens the file.
+    """
+
+    kind = "mmap"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        length: int | None = None,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._length = int(length) if length is not None else None
+        self._start = int(start)
+        self._stop = int(stop) if stop is not None else None
+        self._root: np.memmap | None = None
+        self._view: np.ndarray | None = None
+        self._open()  # validate eagerly; reopened lazily after unpickling
+
+    # -- mapping lifecycle -----------------------------------------------------
+    @property
+    def is_raw(self) -> bool:
+        return Path(self._path).suffix.lower() in RAW_SUFFIXES
+
+    def _open(self) -> np.memmap:
+        if self._root is not None:
+            return self._root
+        path = Path(self._path)
+        if not path.exists():
+            raise FileNotFoundError(f"dataset file not found: {path}")
+        if self.is_raw:
+            if self._length is None:
+                raise ValueError(
+                    f"raw series files ({'/'.join(RAW_SUFFIXES)}) need an explicit "
+                    "series length"
+                )
+            itemsize = np.dtype(SERIES_DTYPE).itemsize
+            row_bytes = self._length * itemsize
+            size = path.stat().st_size
+            if size == 0 or size % row_bytes != 0:
+                raise ValueError(
+                    f"{path}: size {size} is not a multiple of the "
+                    f"{row_bytes}-byte rows implied by length={self._length}"
+                )
+            root = np.memmap(
+                path, dtype=SERIES_DTYPE, mode="r", shape=(size // row_bytes, self._length)
+            )
+        else:
+            root = np.load(path, mmap_mode="r")
+            if not isinstance(root, np.memmap):
+                raise ValueError(f"{path}: not a memory-mappable .npy array file")
+            if root.ndim != 2:
+                raise ValueError(f"{path}: expected a 2-d (count, length) array")
+            if root.dtype != np.dtype(SERIES_DTYPE):
+                raise ValueError(
+                    f"{path}: expected dtype {np.dtype(SERIES_DTYPE)}, got {root.dtype}"
+                )
+            if self._length is not None and root.shape[1] != self._length:
+                raise ValueError(
+                    f"{path}: series length {root.shape[1]} != expected {self._length}"
+                )
+            self._length = int(root.shape[1])
+        if self._stop is None:
+            self._stop = int(root.shape[0])
+        if not (0 <= self._start <= self._stop <= root.shape[0]):
+            raise ValueError(
+                f"{path}: row range [{self._start}, {self._stop}) out of bounds "
+                f"for {root.shape[0]} rows"
+            )
+        self._root = root
+        self._view = root[self._start : self._stop]
+        return root
+
+    @property
+    def values(self) -> np.ndarray:
+        if self._view is None:
+            self._open()
+        return self._view
+
+    @property
+    def source_path(self) -> str | None:
+        return self._path
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(format="raw-f32" if self.is_raw else "npy", start=self._start, stop=self._stop)
+        return info
+
+    # -- structure -------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "MmapBackend":
+        if not (0 <= start <= stop <= self.count):
+            raise ValueError(f"slice [{start}, {stop}) out of bounds for {self.count} rows")
+        return MmapBackend(
+            self._path,
+            length=self._length,
+            start=self._start + start,
+            stop=self._start + stop,
+        )
+
+    def fork(self) -> "MmapBackend":
+        return MmapBackend(
+            self._path, length=self._length, start=self._start, stop=self._stop
+        )
+
+    def release(self, start: int = 0, stop: int | None = None) -> None:
+        """Advise the kernel to drop the pages backing rows ``start:stop``.
+
+        Read-only and file-backed, so dropping is always safe — a later read
+        simply faults the page back in.  Best effort: platforms without
+        ``madvise`` ignore the call.
+        """
+        root = self._open()
+        handle = getattr(root, "_mmap", None)
+        madvise = getattr(handle, "madvise", None)
+        if handle is None or madvise is None:
+            return
+        row0 = self._start + max(0, start)
+        row1 = self._start + (self.count if stop is None else min(stop, self.count))
+        if row1 <= row0:
+            return
+        page = _mmap.PAGESIZE
+        data_offset = int(getattr(root, "offset", 0)) % _mmap.ALLOCATIONGRANULARITY
+        begin = data_offset + row0 * self.series_bytes
+        end = data_offset + row1 * self.series_bytes
+        begin -= begin % page
+        end = min(len(handle), end + (-end) % page)
+        if end <= begin:
+            return
+        try:
+            madvise(_mmap.MADV_DONTNEED, begin, end - begin)
+        except (OSError, ValueError):  # pragma: no cover - platform dependent
+            pass
+
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_root"] = None  # mappings are reopened from the path on unpickle
+        state["_view"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def resolve_backend(dataset, backend=None) -> StorageBackend:
+    """Resolve a backend choice for ``dataset``.
+
+    ``backend`` may be a :class:`StorageBackend` instance (used as-is), one of
+    the names in :data:`BACKEND_KINDS`, or ``None`` — which picks the
+    dataset's attached file backend when it has one (``Dataset.from_file``)
+    and the in-memory backend otherwise, so existing call sites keep today's
+    behavior with zero changes.
+
+    Choosing ``"memory"`` for a file-backed dataset materializes the
+    collection into RAM (that is the point of comparing the two backends on
+    the same file); choosing ``"mmap"`` requires a file-backed dataset — use
+    :meth:`Dataset.from_file` or :meth:`Dataset.to_mmap` first.
+    """
+    if isinstance(backend, StorageBackend):
+        return backend
+    attached = getattr(dataset, "backend", None)
+    if backend is None:
+        return attached if attached is not None else MemoryBackend(dataset.values)
+    kind = str(backend).lower()
+    if kind == "memory":
+        if attached is not None and attached.kind != "memory":
+            return MemoryBackend(np.array(dataset.values, dtype=SERIES_DTYPE))
+        return MemoryBackend(dataset.values)
+    if kind == "mmap":
+        if attached is not None and attached.kind == "mmap":
+            return attached
+        raise ValueError(
+            "the mmap backend needs a file-backed dataset; open it with "
+            "Dataset.from_file() or spill it with Dataset.to_mmap() first"
+        )
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}")

@@ -105,9 +105,21 @@ class SimilaritySearchEngine:
     10
     """
 
-    def __init__(self, dataset: Dataset, page_bytes: int = 65536) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        page_bytes: int = 65536,
+        backend=None,
+        measure_io: bool = False,
+    ) -> None:
+        """``backend`` selects the storage backend (``"memory"``/``"mmap"``/
+        an instance; ``None`` follows the dataset — file-backed datasets from
+        :meth:`Dataset.from_file` are served memory-mapped automatically).
+        ``measure_io=True`` additionally records measured wall-clock I/O."""
         self.dataset = dataset
-        self.store = SeriesStore(dataset, page_bytes=page_bytes)
+        self.store = SeriesStore(
+            dataset, page_bytes=page_bytes, backend=backend, measure_io=measure_io
+        )
         self.method = None
         self.method_name: str | None = None
 

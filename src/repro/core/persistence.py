@@ -6,6 +6,12 @@ across sessions.  Built methods are serialized together with the fingerprint of
 the dataset they were built on; loading verifies the fingerprint so a stale
 index is never silently used against different data.
 
+The envelope also records the *storage provenance* of the store the method was
+built on — backend kind, source file path, page geometry — so an index built
+over a memory-mapped dataset file can be reloaded with no dataset object at
+all: :func:`load_method` reopens the recorded file lazily and re-attaches an
+mmap-backed store.
+
 The format is Python pickle.  Pickle is appropriate here because indexes are
 local artifacts produced and consumed by the same trusted user; never load
 index files from untrusted sources.
@@ -15,17 +21,20 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from .series import Dataset
-from .storage import SeriesStore
+from .storage import DEFAULT_PAGE_BYTES, SeriesStore
 
 __all__ = ["dataset_fingerprint", "save_method", "load_method", "IndexEnvelope"]
 
-_FORMAT_VERSION = 1
+#: version 2 added the ``storage`` provenance block; version-1 files (no
+#: storage recorded) still load, they just cannot re-open their dataset.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
@@ -33,15 +42,21 @@ def dataset_fingerprint(dataset: Dataset) -> str:
 
     Hashes the array shape plus a deterministic sample of rows (first, last,
     and a strided middle selection), which is enough to detect both shape
-    changes and content changes without hashing gigabytes.
+    changes and content changes without hashing gigabytes.  The sample is read
+    through the dataset's storage backend, so fingerprinting a memory-mapped
+    collection touches only the sampled rows — never the whole file — and the
+    fingerprint is identical across backends (same bytes, same hash).
     """
     digest = hashlib.sha256()
-    digest.update(str(dataset.values.shape).encode())
+    digest.update(str(tuple(dataset.values.shape)).encode())
     digest.update(str(dataset.values.dtype).encode())
     count = dataset.count
-    sample_positions = sorted(set([0, count - 1] + list(range(0, count, max(1, count // 64)))))
-    sample = np.ascontiguousarray(dataset.values[sample_positions])
-    digest.update(sample.tobytes())
+    if count > 0:
+        # Degenerate counts (0, 1) must not index with -1: build the sample
+        # positions from a set so first == last collapses cleanly.
+        positions = sorted({0, count - 1, *range(0, count, max(1, count // 64))})
+        sample = np.ascontiguousarray(dataset.row_sample(positions))
+        digest.update(sample.tobytes())
     return digest.hexdigest()
 
 
@@ -54,14 +69,23 @@ class IndexEnvelope:
     dataset_name: str
     dataset_fingerprint: str
     method_state: bytes
+    #: storage provenance: backend kind, source path, page_bytes, geometry
+    #: (``SeriesStore.describe_storage``).  Empty for version-1 files.
+    storage: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
-        return {
+        info = {
             "method": self.method_name,
             "dataset": self.dataset_name,
             "fingerprint": self.dataset_fingerprint[:12],
             "bytes": len(self.method_state),
         }
+        storage = getattr(self, "storage", None) or {}
+        if storage:
+            info["backend"] = storage.get("kind")
+            if storage.get("source_path"):
+                info["source_path"] = storage["source_path"]
+        return info
 
 
 def save_method(method, path: str | Path) -> IndexEnvelope:
@@ -69,8 +93,10 @@ def save_method(method, path: str | Path) -> IndexEnvelope:
     if not getattr(method, "is_built", False):
         raise ValueError("only built methods can be saved")
     dataset = method.store.dataset
+    storage = method.store.describe_storage()
     # The raw data is not stored inside the index file: the store is detached
-    # before pickling and re-attached on load (the dataset travels separately).
+    # before pickling and re-attached on load (the dataset travels separately,
+    # or — for file-backed stores — is reopened from the recorded source path).
     store = method.store
     method.store = None
     try:
@@ -83,27 +109,68 @@ def save_method(method, path: str | Path) -> IndexEnvelope:
         dataset_name=dataset.name,
         dataset_fingerprint=dataset_fingerprint(dataset),
         method_state=state,
+        storage=storage,
     )
     with open(path, "wb") as handle:
         pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return envelope
 
 
-def load_method(path: str | Path, dataset: Dataset, page_bytes: int | None = None):
-    """Load a method saved with :func:`save_method` and re-attach it to ``dataset``.
+def load_method(
+    path: str | Path,
+    dataset: Dataset | None = None,
+    page_bytes: int | None = None,
+    backend=None,
+):
+    """Load a method saved with :func:`save_method` and re-attach its store.
 
-    Raises ``ValueError`` when the file was produced by a different format
-    version or the dataset does not match the fingerprint recorded at save
-    time.
+    ``dataset`` may be omitted when the index was saved over a file-backed
+    store: the recorded source path is reopened lazily (memory-mapped) and
+    the re-attached store serves reads out-of-core exactly like the one the
+    index was built on.  ``page_bytes`` overrides the recorded page geometry
+    (it is validated like the :class:`~repro.core.storage.SeriesStore`
+    constructor — zero is an error, not "use the default"); ``backend``
+    overrides the backend choice (``"memory"``/``"mmap"`` or an instance).
+
+    Raises ``ValueError`` when the file was produced by an unsupported format
+    version, the dataset does not match the fingerprint recorded at save
+    time, or no dataset is available.
     """
+    if page_bytes is not None and page_bytes <= 0:
+        raise ValueError("page_bytes must be positive")
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
     if not isinstance(envelope, IndexEnvelope):
         raise ValueError("not an index file produced by repro.core.persistence")
-    if envelope.format_version != _FORMAT_VERSION:
+    if envelope.format_version not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported index format version {envelope.format_version} "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {_SUPPORTED_VERSIONS})"
+        )
+    storage = getattr(envelope, "storage", None) or {}
+    if dataset is None:
+        source = storage.get("source_path")
+        if not source:
+            raise ValueError(
+                "no dataset given and the index file records no source path; "
+                "pass the dataset the index was built on"
+            )
+        # Reopen exactly the recorded row range: an index built over a slice
+        # of the file (e.g. a shard store) must not come back over the whole
+        # file — the fingerprint check would reject it.
+        from .backends import MmapBackend
+
+        backend = MmapBackend(
+            source,
+            length=storage.get("length"),
+            start=storage.get("start", 0),
+            stop=storage.get("stop"),
+        )
+        dataset = Dataset(
+            values=backend.values,
+            name=envelope.dataset_name,
+            metadata={"source_path": str(source), "format": storage.get("format")},
+            backend=backend,
         )
     fingerprint = dataset_fingerprint(dataset)
     if fingerprint != envelope.dataset_fingerprint:
@@ -111,6 +178,7 @@ def load_method(path: str | Path, dataset: Dataset, page_bytes: int | None = Non
             "dataset fingerprint mismatch: the index was built on different data"
         )
     method = pickle.loads(envelope.method_state)
-    store_kwargs = {"page_bytes": page_bytes} if page_bytes else {}
-    method.store = SeriesStore(dataset, **store_kwargs)
+    if page_bytes is None:
+        page_bytes = storage.get("page_bytes") or DEFAULT_PAGE_BYTES
+    method.store = SeriesStore(dataset, page_bytes=page_bytes, backend=backend)
     return method

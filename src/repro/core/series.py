@@ -11,19 +11,28 @@ paper's experimental setup ("All methods use single precision values").
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 __all__ = [
     "SERIES_DTYPE",
+    "RAW_SUFFIXES",
     "znormalize",
     "is_znormalized",
     "Dataset",
+    "SeriesFileWriter",
+    "write_series_file",
 ]
 
 #: dtype used for every series in the library (the paper uses single precision).
 SERIES_DTYPE = np.float32
+
+#: file suffixes treated as headerless raw little-endian float32 row data
+#: (anything else is read/written as a standard ``.npy`` array file).
+RAW_SUFFIXES = (".f32", ".raw", ".bin")
 
 
 def znormalize(series: np.ndarray, epsilon: float = 1e-8) -> np.ndarray:
@@ -95,6 +104,10 @@ class Dataset:
     name: str = "dataset"
     normalized: bool = True
     metadata: dict = field(default_factory=dict)
+    #: attached storage backend for file-backed datasets (``Dataset.from_file``);
+    #: ``None`` for plain in-memory datasets.  When present, ``values`` is a lazy
+    #: view into the backing file and the dataset pickles by path, not by bytes.
+    backend: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=SERIES_DTYPE)
@@ -143,6 +156,22 @@ class Dataset:
         for row in self.values:
             yield row
 
+    # -- pickling -----------------------------------------------------------
+    # File-backed datasets travel by path: the values view is dropped from the
+    # pickle and reopened from the backend on unpickle, so shard stores and
+    # persisted envelopes never embed the raw collection.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        backend = state.get("backend")
+        if backend is not None and getattr(backend, "source_path", None) is not None:
+            state["values"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.values is None and self.backend is not None:
+            self.values = self.backend.values
+
     # -- construction helpers ----------------------------------------------
     @classmethod
     def from_array(
@@ -154,6 +183,81 @@ class Dataset:
             arr = znormalize(arr)
         return cls(values=arr, name=name, normalized=normalize or is_znormalized(arr))
 
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        *,
+        length: int | None = None,
+        name: str | None = None,
+        normalized: bool = True,
+        mmap: bool = True,
+        metadata: dict | None = None,
+    ) -> "Dataset":
+        """Open a dataset file lazily, without loading the collection.
+
+        ``path`` is a ``.npy`` array file or a headerless raw little-endian
+        float32 file (``.f32``/``.raw``/``.bin``, which require ``length``).
+        With ``mmap=True`` (the default) the returned dataset's ``values`` is
+        a read-only memory-mapped view and the dataset carries an attached
+        :class:`~repro.core.backends.MmapBackend`, so every store built on it
+        serves reads out-of-core; ``mmap=False`` materializes the file into
+        RAM (an ordinary in-memory dataset).
+        """
+        from .backends import MmapBackend
+
+        backend = MmapBackend(path, length=length)
+        meta = {"source_path": str(Path(path)), "format": backend.describe()["format"]}
+        meta.update(metadata or {})
+        if not mmap:
+            return cls(
+                values=np.array(backend.values, dtype=SERIES_DTYPE),
+                name=name or Path(path).stem,
+                normalized=normalized,
+                metadata=meta,
+            )
+        return cls(
+            values=backend.values,
+            name=name or Path(path).stem,
+            normalized=normalized,
+            metadata=meta,
+            backend=backend,
+        )
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the collection to ``path`` (``.npy``, or raw f32 by suffix)."""
+        path = Path(path)
+        with SeriesFileWriter(path, length=self.length) as writer:
+            writer.append(self.values)
+        return path
+
+    def to_mmap(self, path: str | Path) -> "Dataset":
+        """Spill the collection to ``path`` and reopen it memory-mapped.
+
+        Convenience for serving an already-generated dataset through the mmap
+        backend: the returned dataset has the same name, normalization flag,
+        and metadata, with ``values`` now a lazy view into the written file.
+        """
+        self.to_file(path)
+        return Dataset.from_file(
+            path,
+            length=self.length,
+            name=self.name,
+            normalized=self.normalized,
+            metadata=dict(self.metadata),
+        )
+
+    def row_sample(self, positions) -> np.ndarray:
+        """The rows at ``positions``, read through the backend when attached.
+
+        Used by the persistence fingerprint: for a file-backed dataset only
+        the sampled rows are read (no full materialization).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if self.backend is not None:
+            return self.backend.take(positions)
+        return self.values[positions]
+
     def sample(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
         """Return ``count`` series sampled without replacement."""
         if count > self.count:
@@ -163,3 +267,113 @@ class Dataset:
         rng = rng or np.random.default_rng()
         idx = rng.choice(self.count, size=count, replace=False)
         return self.values[idx].copy()
+
+
+_NPY_MAGIC = b"\x93NUMPY\x01\x00"
+#: fixed preamble size: large enough for any (count, length) digit width, so
+#: the placeholder written at open time and the final header written at close
+#: time occupy exactly the same bytes and the data offset never moves.
+_NPY_PREAMBLE_BYTES = 128
+
+
+def _npy_preamble(count: int, length: int) -> bytes:
+    """A fixed-size ``.npy`` v1 preamble for a ``(count, length)`` f32 array."""
+    header = (
+        "{'descr': '%s', 'fortran_order': False, 'shape': (%d, %d), }"
+        % (np.lib.format.dtype_to_descr(np.dtype(SERIES_DTYPE)), count, length)
+    )
+    used = len(_NPY_MAGIC) + 2 + len(header) + 1
+    if used > _NPY_PREAMBLE_BYTES:  # pragma: no cover - needs absurd shapes
+        raise ValueError(f"npy header for shape ({count}, {length}) does not fit")
+    header = header + " " * (_NPY_PREAMBLE_BYTES - used) + "\n"
+    return _NPY_MAGIC + struct.pack("<H", len(header)) + header.encode("latin1")
+
+
+class SeriesFileWriter:
+    """Streamed dataset-file writer: append chunks, never hold the collection.
+
+    Writes either a standard ``.npy`` file (the shape is patched into a
+    fixed-size header on close, so the row count need not be known up front)
+    or a headerless raw float32 file (``.f32``/``.raw``/``.bin``).  Workload
+    generators use this to synthesize collections larger than RAM chunk by
+    chunk::
+
+        with SeriesFileWriter("walks.npy", length=256) as writer:
+            for chunk in chunks:          # each (m, 256)
+                writer.append(chunk)
+
+    The result is readable by :meth:`Dataset.from_file` (and, for ``.npy``,
+    by plain :func:`numpy.load`).
+    """
+
+    def __init__(self, path: str | Path, length: int | None = None) -> None:
+        self.path = Path(path)
+        self._length = int(length) if length is not None else None
+        self._count = 0
+        self._is_npy = self.path.suffix.lower() not in RAW_SUFFIXES
+        self._handle = open(self.path, "wb")
+        if self._is_npy:
+            # Placeholder preamble; rewritten with the final count on close.
+            self._handle.write(_npy_preamble(0, self._length or 0))
+
+    @property
+    def count(self) -> int:
+        """Rows written so far."""
+        return self._count
+
+    @property
+    def length(self) -> int | None:
+        return self._length
+
+    def append(self, chunk: np.ndarray) -> int:
+        """Write one ``(m, length)`` chunk (or a single 1-d series); returns ``m``."""
+        if self._handle is None:
+            raise ValueError("writer is closed")
+        arr = np.ascontiguousarray(np.atleast_2d(np.asarray(chunk, dtype=SERIES_DTYPE)))
+        if arr.ndim != 2:
+            raise ValueError(f"chunks must be 2-d (m, length); got ndim={arr.ndim}")
+        if self._length is None:
+            self._length = int(arr.shape[1])
+        elif arr.shape[1] != self._length:
+            raise ValueError(
+                f"chunk length {arr.shape[1]} != writer length {self._length}"
+            )
+        self._handle.write(arr.tobytes())
+        self._count += int(arr.shape[0])
+        return int(arr.shape[0])
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            if self._is_npy:
+                if self._count == 0 or self._length is None:
+                    raise ValueError("cannot finalize an empty .npy series file")
+                self._handle.seek(0)
+                self._handle.write(_npy_preamble(self._count, self._length))
+        finally:
+            handle, self._handle = self._handle, None
+            handle.close()
+
+    def __enter__(self) -> "SeriesFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self._handle is not None:
+            # Abandon the half-written file without the empty-file finalize error.
+            handle, self._handle = self._handle, None
+            handle.close()
+            return
+        self.close()
+
+
+def write_series_file(
+    path: str | Path, chunks, *, length: int | None = None
+) -> tuple[int, int]:
+    """Stream an iterable of series chunks to ``path``; returns ``(count, length)``."""
+    with SeriesFileWriter(path, length=length) as writer:
+        for chunk in chunks:
+            writer.append(chunk)
+        if writer.length is None:
+            raise ValueError("no chunks were written and no length was given")
+        return writer.count, writer.length

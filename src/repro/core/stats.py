@@ -40,6 +40,9 @@ class AccessCounter:
     bytes_read: int = 0
     #: bytes written to the simulated storage (construction-buffer spills).
     bytes_written: int = 0
+    #: measured wall-clock seconds spent in backend reads (only accumulated by
+    #: stores opened with ``measure_io=True``; calibrates the simulated models).
+    measured_io_seconds: float = 0.0
 
     def reset(self) -> None:
         self.sequential_pages = 0
@@ -47,6 +50,7 @@ class AccessCounter:
         self.series_read = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.measured_io_seconds = 0.0
 
     def snapshot(self) -> "AccessCounter":
         return AccessCounter(
@@ -55,6 +59,7 @@ class AccessCounter:
             series_read=self.series_read,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            measured_io_seconds=self.measured_io_seconds,
         )
 
     def diff(self, earlier: "AccessCounter") -> "AccessCounter":
@@ -65,6 +70,7 @@ class AccessCounter:
             series_read=self.series_read - earlier.series_read,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
+            measured_io_seconds=self.measured_io_seconds - earlier.measured_io_seconds,
         )
 
     def merge(self, other: "AccessCounter") -> None:
@@ -73,6 +79,7 @@ class AccessCounter:
         self.series_read += other.series_read
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
+        self.measured_io_seconds += other.measured_io_seconds
 
 
 @dataclass
@@ -99,6 +106,8 @@ class QueryStats:
     cpu_seconds: float = 0.0
     #: simulated I/O seconds under the active hardware cost model.
     io_seconds: float = 0.0
+    #: measured wall-clock I/O seconds (only populated by ``measure_io`` stores).
+    measured_io_seconds: float = 0.0
     #: distance of the final (exact or approximate) answer.
     answer_distance: float = float("nan")
 
@@ -124,6 +133,7 @@ class QueryStats:
         self.leaves_visited += other.leaves_visited
         self.cpu_seconds += other.cpu_seconds
         self.io_seconds += other.io_seconds
+        self.measured_io_seconds += other.measured_io_seconds
         self.dataset_size = max(self.dataset_size, other.dataset_size)
 
 

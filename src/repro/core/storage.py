@@ -1,18 +1,31 @@
-"""Simulated raw-data storage with page-granular access accounting.
+"""Raw-data storage with page-granular access accounting.
 
 The paper's findings hinge on the *access pattern* each method induces on the
 raw data file: full sequential scans (UCR Suite), skip-sequential scans with
 many seeks (ADS+, VA+file), or clustered leaf reads (DSTree, iSAX2+, SFA).
-Since this reproduction keeps data in memory, the :class:`SeriesStore` wraps the
-dataset and counts every access at page granularity, distinguishing sequential
-page reads from random accesses (seeks).  The hardware cost models in
-:mod:`repro.evaluation.hardware` turn those counts into simulated I/O time.
+The :class:`SeriesStore` counts every access at page granularity,
+distinguishing sequential page reads from random accesses (seeks); the
+hardware cost models in :mod:`repro.evaluation.hardware` turn those counts
+into simulated I/O time.
+
+Where the bytes actually live is delegated to a pluggable
+:class:`~repro.core.backends.StorageBackend`: the in-memory backend preserves
+the historical all-in-RAM behavior, and the mmap backend serves the same read
+API from a memory-mapped dataset file without ever materializing the
+collection — same counters, same answers, real out-of-core capacity.  With
+``measure_io=True`` the store additionally times every backend read (faulting
+the touched pages in), accumulating *measured* wall-clock I/O next to the
+simulated accounting so the cost models can be calibrated against the actual
+storage device (:func:`repro.evaluation.hardware.measure_platform`).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from .backends import StorageBackend, resolve_backend, touch_pages
 from .series import Dataset
 from .stats import AccessCounter
 
@@ -21,40 +34,51 @@ __all__ = ["SeriesStore", "DEFAULT_PAGE_BYTES"]
 #: default page size in bytes (a typical file-system block / RAID stripe unit).
 DEFAULT_PAGE_BYTES = 65536
 
+#: default streaming-scan chunk size in bytes (see :meth:`SeriesStore.scan_chunks`).
+DEFAULT_SCAN_CHUNK_BYTES = 8 * 1024 * 1024
+
 
 class SeriesStore:
-    """Page-oriented view over a :class:`~repro.core.series.Dataset`.
+    """Page-oriented, accounted view over a :class:`~repro.core.series.Dataset`.
 
-    The store exposes three access styles used by the methods in the paper:
+    The store exposes the access styles used by the methods in the paper:
 
     * :meth:`scan` — full sequential scan (UCR Suite, MASS, index build passes);
+    * :meth:`scan_chunks` — the same scan as a bounded-memory chunk stream
+      (identical accounting; the streaming form of out-of-core passes);
     * :meth:`read_block` — contiguous block read, counted as one random access
       (seek) plus the sequential pages of the block (leaf reads, skip-sequential
       refinement of ADS+/VA+file);
     * :meth:`read_one` — single-series random access.
 
     Every call updates the shared :class:`~repro.core.stats.AccessCounter`, which
-    the experiment runner snapshots around each query.
+    the experiment runner snapshots around each query.  Accounting is computed
+    from the store's page geometry alone, so it is identical for every backend.
 
-    Reads return *views* into the in-memory dataset wherever NumPy indexing
-    allows (:meth:`scan`, :meth:`read_contiguous`, :meth:`read_one`, and slice
-    :meth:`peek` calls); only fancy-indexed block reads materialize copies.
-    Callers must therefore never mutate a returned block.  The store enforces
-    this by clearing the ``WRITEABLE`` flag on the dataset array, so an
-    accidental in-place write raises instead of silently corrupting the
-    collection every other reader shares.
+    Reads return *views* wherever NumPy indexing allows (:meth:`scan`,
+    :meth:`read_contiguous`, :meth:`read_one`, and slice :meth:`peek` calls);
+    only fancy-indexed block reads materialize copies.  Callers must therefore
+    never mutate a returned block.  The store enforces this by serving reads
+    from a frozen array (in-memory backend) or a read-only mapping (mmap
+    backend), so an accidental in-place write raises instead of silently
+    corrupting the collection every other reader shares.
     """
 
-    def __init__(self, dataset: Dataset, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        backend: StorageBackend | str | None = None,
+        measure_io: bool = False,
+    ) -> None:
         if page_bytes <= 0:
             raise ValueError("page_bytes must be positive")
         self.dataset = dataset
-        # Reads hand out views; freeze the backing array so callers cannot
-        # mutate the shared collection through them.
-        dataset.values.setflags(write=False)
+        self.backend = resolve_backend(dataset, backend)
         self.page_bytes = int(page_bytes)
+        self.measure_io = bool(measure_io)
         self.counter = AccessCounter()
-        self._series_bytes = dataset.length * dataset.values.dtype.itemsize
+        self._series_bytes = dataset.length * self.backend.dtype.itemsize
         self._series_per_page = max(1, self.page_bytes // self._series_bytes)
 
     # -- geometry ------------------------------------------------------------
@@ -87,18 +111,60 @@ class SeriesStore:
             return 0
         return (count + self._series_per_page - 1) // self._series_per_page
 
-    # -- access styles ---------------------------------------------------------
-    def scan(self) -> np.ndarray:
-        """Full sequential scan of the raw file.
+    # -- measured I/O ----------------------------------------------------------
+    def _serve(self, read):
+        """Run one backend read, timing it (pages faulted in) when measuring."""
+        if not self.measure_io:
+            return read()
+        start = time.perf_counter()
+        block = read()
+        touch_pages(block)
+        self.counter.measured_io_seconds += time.perf_counter() - start
+        return block
 
-        Counted as one seek (positioning at the start of the file) plus the
-        sequential pages of the whole file.
-        """
+    # -- access styles ---------------------------------------------------------
+    def _account_scan(self) -> None:
         self.counter.random_accesses += 1
         self.counter.sequential_pages += self.total_pages
         self.counter.series_read += self.count
         self.counter.bytes_read += self.count * self._series_bytes
-        return self.dataset.values
+
+    def scan(self) -> np.ndarray:
+        """Full sequential scan of the raw file.
+
+        Counted as one seek (positioning at the start of the file) plus the
+        sequential pages of the whole file.  The returned array is the whole
+        collection: an in-memory view, or — on the mmap backend — a lazy view
+        into the mapping whose rows are paged in as they are touched.
+        """
+        self._account_scan()
+        return self._serve(lambda: self.backend.values)
+
+    def scan_chunks(self, chunk_rows: int | None = None, drop: bool = True):
+        """The sequential scan as a generator of ``(start, block)`` row chunks.
+
+        Accounted exactly like :meth:`scan` (one seek plus the sequential
+        pages of the whole file, charged when iteration starts), so consumers
+        can switch between the two forms without moving a single counter.
+        The difference is residency: each yielded block covers ``chunk_rows``
+        rows only, and with ``drop=True`` the mmap backend releases a chunk's
+        pages after the next chunk is requested — a streaming pass over a
+        collection far larger than RAM keeps its resident set bounded by the
+        chunk size.  (``drop`` is a no-op for the in-memory backend.)
+        """
+        if chunk_rows is None:
+            chunk_rows = max(1, DEFAULT_SCAN_CHUNK_BYTES // self._series_bytes)
+        chunk_rows = max(1, int(chunk_rows))
+        self._account_scan()
+        for start in range(0, self.count, chunk_rows):
+            stop = min(start + chunk_rows, self.count)
+            yield start, self._serve(lambda s=start, e=stop: self.backend.read_rows(s, e))
+            if drop:
+                # Release one chunk behind as well: the kernel's fault-around
+                # happily re-maps already-released pages adjacent to a later
+                # fault, so a strictly chunk-local drop slowly re-accumulates
+                # residency along the scan.
+                self.backend.release(max(0, start - chunk_rows), stop)
 
     def read_block(self, positions: np.ndarray | list[int]) -> np.ndarray:
         """Read the series at ``positions`` as one contiguous block access.
@@ -111,12 +177,12 @@ class SeriesStore:
         """
         idx = np.asarray(positions, dtype=np.int64)
         if idx.size == 0:
-            return np.empty((0, self.length), dtype=self.dataset.values.dtype)
+            return np.empty((0, self.length), dtype=self.backend.dtype)
         self.counter.random_accesses += 1
         self.counter.sequential_pages += self.pages_for_series(int(idx.size))
         self.counter.series_read += int(idx.size)
         self.counter.bytes_read += int(idx.size) * self._series_bytes
-        return self.dataset.values[idx]
+        return self._serve(lambda: self.backend.take(idx))
 
     def read_contiguous(self, start: int, stop: int) -> np.ndarray:
         """Read series ``start:stop`` from the raw file as one skip + block read.
@@ -125,13 +191,13 @@ class SeriesStore:
         VA+file refinement): every gap in the scan costs one seek.
         """
         if stop <= start:
-            return np.empty((0, self.length), dtype=self.dataset.values.dtype)
+            return np.empty((0, self.length), dtype=self.backend.dtype)
         count = stop - start
         self.counter.random_accesses += 1
         self.counter.sequential_pages += self.pages_for_series(count)
         self.counter.series_read += count
         self.counter.bytes_read += count * self._series_bytes
-        return self.dataset.values[start:stop]
+        return self._serve(lambda: self.backend.read_rows(start, stop))
 
     def read_one(self, position: int) -> np.ndarray:
         """Random access to a single series (a read-only view, not a copy)."""
@@ -139,7 +205,7 @@ class SeriesStore:
         self.counter.sequential_pages += 1
         self.counter.series_read += 1
         self.counter.bytes_read += self._series_bytes
-        return self.dataset.values[position]
+        return self._serve(lambda: self.backend.row(position))
 
     def peek(self, positions: np.ndarray | list[int] | slice) -> np.ndarray:
         """Access series *without* accounting.
@@ -147,19 +213,55 @@ class SeriesStore:
         Used only for building summaries where the build pass is already
         accounted for with an explicit :meth:`scan`.
         """
-        return self.dataset.values[positions]
+        return self.backend.get(positions)
 
+    # -- structure -------------------------------------------------------------
     def fork(self) -> "SeriesStore":
         """A reader view of this store with a private access counter.
 
-        The fork shares the (frozen, zero-copy) dataset and page geometry but
-        counts accesses into a fresh :class:`AccessCounter`, which is the
-        thread-safety contract of parallel execution: each worker thread reads
-        through its own fork and the coordinator merges the forks' counters
-        into this store's counter after joining (``counter.merge``), so no
-        counter is ever mutated from two threads.
+        The fork shares the page geometry but counts accesses into a fresh
+        :class:`AccessCounter`, which is the thread-safety contract of
+        parallel execution: each worker thread reads through its own fork and
+        the coordinator merges the forks' counters into this store's counter
+        after joining (``counter.merge``), so no counter is ever mutated from
+        two threads.  The data stays zero-copy: the in-memory backend is
+        shared outright, while the mmap backend reopens the mapping so every
+        worker reads through a private file handle.
         """
-        return SeriesStore(self.dataset, page_bytes=self.page_bytes)
+        return SeriesStore(
+            self.dataset,
+            page_bytes=self.page_bytes,
+            backend=self.backend.fork(),
+            measure_io=self.measure_io,
+        )
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "SeriesStore":
+        """A store over the contiguous sub-range ``start:stop`` (zero-copy).
+
+        This is the partitioning primitive of the sharded executor: the
+        sub-store's dataset values are a view of this store's, its backend is
+        the sliced backend (for mmap, a (path, row-range) handle that stays
+        picklable with no raw data attached), and its counters are private.
+        """
+        sub_backend = self.backend.slice(start, stop)
+        sub_dataset = Dataset(
+            values=sub_backend.values,
+            name=name or f"{self.dataset.name}[{start}:{stop}]",
+            normalized=self.dataset.normalized,
+            backend=sub_backend if sub_backend.source_path is not None else None,
+        )
+        return SeriesStore(
+            sub_dataset,
+            page_bytes=self.page_bytes,
+            backend=sub_backend,
+            measure_io=self.measure_io,
+        )
+
+    def describe_storage(self) -> dict:
+        """Backend provenance plus page geometry (persistence envelopes)."""
+        info = self.backend.describe()
+        info["page_bytes"] = self.page_bytes
+        return info
 
     # -- bookkeeping -----------------------------------------------------------
     def reset_counters(self) -> None:

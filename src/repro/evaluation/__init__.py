@@ -1,6 +1,6 @@
 """Evaluation framework: hardware models, measures, scenarios, runner, reports."""
 
-from .hardware import HDD, IN_MEMORY, PLATFORMS, SSD, HardwareModel
+from .hardware import HDD, IN_MEMORY, PLATFORMS, SSD, HardwareModel, measure_platform
 from .measures import (
     FootprintReport,
     average_pruning_ratio,
@@ -23,6 +23,7 @@ __all__ = [
     "SSD",
     "IN_MEMORY",
     "PLATFORMS",
+    "measure_platform",
     "FootprintReport",
     "footprint_report",
     "pruning_ratio",

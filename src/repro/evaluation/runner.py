@@ -118,6 +118,8 @@ def run_experiment(
     page_bytes: int | None = None,
     batch: bool = True,
     workers: int | None = None,
+    backend=None,
+    measure_io: bool = False,
 ) -> ExperimentResult:
     """Build ``method_name`` over ``dataset`` and answer ``workload``.
 
@@ -135,8 +137,18 @@ def run_experiment(
     thread pool with worker-local accounting (answers are byte-identical for
     any worker count).  Combine with ``method_name="sharded:<m>"`` for
     intra-query shard parallelism as well.
+
+    ``backend`` selects the storage backend (``"memory"``/``"mmap"``/an
+    instance; ``None`` follows the dataset, so file-backed datasets run
+    out-of-core automatically), and ``measure_io=True`` records measured
+    wall-clock I/O per query next to the simulated accounting.
     """
-    store = SeriesStore(dataset, page_bytes=page_bytes or platform.page_bytes)
+    store = SeriesStore(
+        dataset,
+        page_bytes=page_bytes or platform.page_bytes,
+        backend=backend,
+        measure_io=measure_io,
+    )
     method = create_method(method_name, store, **(method_params or {}))
     index_stats = method.build()
     index_stats.build_io_seconds = platform.io_seconds(

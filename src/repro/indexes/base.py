@@ -220,6 +220,7 @@ class SearchMethod(abc.ABC):
         stats.random_accesses += delta.random_accesses
         stats.sequential_pages += delta.sequential_pages
         stats.bytes_read += delta.bytes_read
+        stats.measured_io_seconds += delta.measured_io_seconds
 
     def _package_result(self, answers: KnnAnswerSet, stats: QueryStats) -> SearchResult:
         neighbors = answers.neighbors()
@@ -292,6 +293,31 @@ class SearchMethod(abc.ABC):
             stats_list.append(stats)
         return answer_sets, stats_list
 
+    def _streamed_norms(self, chunk_rows: int | None = None) -> np.ndarray:
+        """Candidate squared norms in one streamed sequential pass.
+
+        Chunked so the float64 staging buffer — and, on the mmap backend, the
+        resident pages of the raw file — stay bounded by the chunk size
+        regardless of the collection size.  Scan-based methods call this at
+        build time and feed the result to the tiled scans below.
+        """
+        norms = np.empty(self.store.count, dtype=np.float64)
+        for start, block in self.store.scan_chunks(chunk_rows=chunk_rows):
+            b = block.astype(np.float64)
+            norms[start : start + b.shape[0]] = np.einsum("ij,ij->i", b, b)
+        return norms
+
+    @staticmethod
+    def _tile_norms(
+        norms: np.ndarray | None, block: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Squared norms for one float64 tile: the precomputed slice, or — when
+        the method was built without norms — computed on the fly (per-row, so
+        the values are identical either way)."""
+        if norms is None:
+            return np.einsum("ij,ij->i", block, block)
+        return norms[start:stop]
+
     def _tiled_batch_scan(
         self,
         queries: np.ndarray,
@@ -313,17 +339,17 @@ class SearchMethod(abc.ABC):
         before = self.store.snapshot()
         start_time = time.perf_counter()
 
-        data = self.store.scan()
-        if norms is None:
-            d = data.astype(np.float64)
-            norms = np.einsum("ij,ij->i", d, d)
         q_norms = np.einsum("ij,ij->i", queries, queries)
         answer_sets = [self._make_answer_set(k) for _ in range(queries.shape[0])]
-        for start in range(0, self.store.count, tile):
-            stop = min(start + tile, self.store.count)
-            block = data[start:stop].astype(np.float64)
+        # One streamed pass in tiles: residency stays O(tile) on every backend
+        # (the mmap backend drops each consumed tile's pages), with accounting
+        # identical to a scan()-then-slice pass.
+        for start, raw in self.store.scan_chunks(chunk_rows=tile):
+            stop = start + raw.shape[0]
+            block = raw.astype(np.float64)
+            tile_norms = self._tile_norms(norms, block, start, stop)
             distances = (
-                q_norms[:, np.newaxis] + norms[np.newaxis, start:stop] - 2.0 * dots_for(block)
+                q_norms[:, np.newaxis] + tile_norms[np.newaxis, :] - 2.0 * dots_for(block)
             )
             np.clip(distances, 0.0, None, out=distances)
             positions = np.arange(start, stop)
@@ -357,6 +383,7 @@ class SearchMethod(abc.ABC):
             stats.random_accesses = share(delta.random_accesses)
             stats.sequential_pages = share(delta.sequential_pages)
             stats.bytes_read = share(delta.bytes_read)
+            stats.measured_io_seconds = delta.measured_io_seconds / count
             stats_list.append(stats)
         return stats_list
 

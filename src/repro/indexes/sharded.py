@@ -47,7 +47,6 @@ import numpy as np
 from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
 from ..core.parallel import SharedRadius, chunk_slices, parallel_map, resolve_workers
 from ..core.queries import KnnQuery
-from ..core.series import Dataset
 from ..core.stats import QueryStats
 from ..core.storage import SeriesStore
 from .base import SearchMethod, SearchResult
@@ -171,12 +170,10 @@ class ShardedMethod(SearchMethod):
         return shards
 
     def _shard_store(self, store: SeriesStore, index: int, sl: slice) -> SeriesStore:
-        dataset = Dataset(
-            values=store.dataset.values[sl],  # zero-copy contiguous view
-            name=f"{store.dataset.name}#shard{index}",
-            normalized=store.dataset.normalized,
-        )
-        return SeriesStore(dataset, page_bytes=store.page_bytes)
+        # Zero-copy partition through the backend layer: in-memory shards view
+        # the parent array, mmap shards are (path, row-range) handles onto the
+        # same file — both stay picklable and reopen cleanly per worker.
+        return store.slice(sl.start, sl.stop, name=f"{store.dataset.name}#shard{index}")
 
     def _on_store_attached(self, store: SeriesStore | None) -> None:
         # Re-slice shard stores whenever the base store is (re-)attached —

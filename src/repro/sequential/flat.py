@@ -47,28 +47,19 @@ class FlatScan(SearchMethod):
         self._norms: np.ndarray | None = None
 
     def _build(self) -> None:
-        """Precompute candidate squared norms (one sequential pass)."""
-        data = self.store.scan().astype(np.float64)
-        self._norms = np.einsum("ij,ij->i", data, data)
-
-    def _candidate_norms(self, data: np.ndarray) -> np.ndarray:
-        norms = self._norms
-        if norms is None:
-            d = data.astype(np.float64)
-            norms = np.einsum("ij,ij->i", d, d)
-        return norms
+        """Precompute candidate squared norms (one streamed, RSS-bounded pass)."""
+        self._norms = self._streamed_norms(chunk_rows=self.tile_series)
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
         answers = self._make_answer_set(k)
-        data = self.store.scan()
         stats.series_examined += self.store.count
-        norms = self._candidate_norms(data)
         q = np.asarray(query, dtype=np.float64)
         q_norm = float(np.dot(q, q))
-        for start in range(0, self.store.count, self.tile_series):
-            stop = min(start + self.tile_series, self.store.count)
-            block = data[start:stop].astype(np.float64)
-            distances = norms[start:stop] + q_norm - 2.0 * (block @ q)
+        for start, raw in self.store.scan_chunks(chunk_rows=self.tile_series):
+            stop = start + raw.shape[0]
+            block = raw.astype(np.float64)
+            norms = self._tile_norms(self._norms, block, start, stop)
+            distances = norms + q_norm - 2.0 * (block @ q)
             np.clip(distances, 0.0, None, out=distances)
             answers.offer_batch(np.arange(start, stop), distances)
         return answers

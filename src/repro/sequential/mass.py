@@ -41,17 +41,12 @@ class MassScan(SearchMethod):
         self._norms: np.ndarray | None = None
 
     def _build(self) -> None:
-        """Precompute candidate squared norms (one sequential pass)."""
-        data = self.store.scan()
-        self._norms = np.einsum("ij,ij->i", data.astype(np.float64), data.astype(np.float64))
+        """Precompute candidate squared norms (one streamed, RSS-bounded pass)."""
+        self._norms = self._streamed_norms(chunk_rows=self.block_size)
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
         answers = self._make_answer_set(k)
-        data = self.store.scan()
         stats.series_examined += self.store.count
-        norms = self._norms
-        if norms is None:
-            norms = np.einsum("ij,ij->i", data.astype(np.float64), data.astype(np.float64))
 
         n = self.store.length
         q = np.asarray(query, dtype=np.float64)
@@ -59,11 +54,12 @@ class MassScan(SearchMethod):
         # Frequency-domain dot products: conj(FFT(candidates)) * FFT(query),
         # inverse-transformed and evaluated at lag 0.
         q_fft = np.fft.rfft(q, n=n)
-        for start in range(0, self.store.count, self.block_size):
-            block = data[start : start + self.block_size].astype(np.float64)
+        for start, raw in self.store.scan_chunks(chunk_rows=self.block_size):
+            block = raw.astype(np.float64)
+            norms = self._tile_norms(self._norms, block, start, start + block.shape[0])
             block_fft = np.fft.rfft(block, n=n, axis=1)
             dot = np.fft.irfft(block_fft * np.conj(q_fft), n=n, axis=1)[:, 0]
-            distances = norms[start : start + block.shape[0]] + q_norm - 2.0 * dot
+            distances = norms + q_norm - 2.0 * dot
             np.clip(distances, 0.0, None, out=distances)
             answers.offer_batch(np.arange(start, start + block.shape[0]), distances)
         return answers

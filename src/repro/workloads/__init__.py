@@ -1,6 +1,11 @@
 """Dataset generators and query workloads used by the evaluation."""
 
-from .generators import gaussian_noise, random_walk, random_walk_dataset
+from .generators import (
+    gaussian_noise,
+    random_walk,
+    random_walk_dataset,
+    random_walk_to_file,
+)
 from .noise import controlled_workload, label_by_difficulty, noisy_queries
 from .real_like import (
     REAL_DATASET_NAMES,
@@ -21,6 +26,7 @@ from .workload import (
 __all__ = [
     "random_walk",
     "random_walk_dataset",
+    "random_walk_to_file",
     "gaussian_noise",
     "controlled_workload",
     "noisy_queries",

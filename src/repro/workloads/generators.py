@@ -8,11 +8,18 @@ z-normalized output by default (the paper normalizes all datasets in advance).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
-from ..core.series import Dataset, znormalize
+from ..core.series import Dataset, SeriesFileWriter, znormalize
 
-__all__ = ["random_walk", "random_walk_dataset", "gaussian_noise"]
+__all__ = [
+    "random_walk",
+    "random_walk_dataset",
+    "random_walk_to_file",
+    "gaussian_noise",
+]
 
 
 def random_walk(
@@ -56,3 +63,43 @@ def random_walk_dataset(
     """A :class:`Dataset` of z-normalized random-walk series."""
     values = random_walk(count, length, seed=seed, normalize=True)
     return Dataset(values=values, name=name, normalized=True, metadata={"seed": seed})
+
+
+def random_walk_to_file(
+    path,
+    count: int,
+    length: int,
+    seed: int | None = None,
+    chunk_size: int = 65536,
+    name: str | None = None,
+    normalize: bool = True,
+) -> Dataset:
+    """Synthesize a random-walk dataset straight to ``path``, chunk by chunk.
+
+    Only ``chunk_size`` series are ever held in memory, so the written
+    collection can be far larger than RAM; the returned :class:`Dataset` is
+    the file reopened memory-mapped (:meth:`Dataset.from_file`), ready to
+    serve out-of-core.  Generator draws consume the seeded bit stream
+    sequentially, so for a given ``seed`` the file contents are *identical*
+    to ``random_walk(count, length, seed=seed)`` for every ``chunk_size``.
+    """
+    if count <= 0 or length <= 0:
+        raise ValueError("count and length must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    rng = np.random.default_rng(seed)
+    path = Path(path)
+    with SeriesFileWriter(path, length=length) as writer:
+        remaining = count
+        while remaining > 0:
+            rows = min(chunk_size, remaining)
+            walks = np.cumsum(rng.standard_normal((rows, length)), axis=1)
+            writer.append(znormalize(walks) if normalize else walks.astype(np.float32))
+            remaining -= rows
+    return Dataset.from_file(
+        path,
+        length=length,
+        name=name or "synthetic-random-walk",
+        normalized=normalize,
+        metadata={"seed": seed},
+    )

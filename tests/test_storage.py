@@ -123,6 +123,29 @@ class TestReadOnlyViews:
         SeriesStore(dataset)
         assert not dataset.values.flags.writeable
 
+    def test_scan_chunks_accounts_exactly_like_scan(self, dataset):
+        whole = SeriesStore(dataset, page_bytes=1024)
+        chunked = SeriesStore(dataset, page_bytes=1024)
+        whole.scan()
+        blocks = [block for _, block in chunked.scan_chunks(chunk_rows=7)]
+        assert whole.counter == chunked.counter
+        np.testing.assert_array_equal(np.vstack(blocks), dataset.values)
+
+    def test_scan_chunks_yields_positioned_blocks(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        starts = [start for start, _ in store.scan_chunks(chunk_rows=10)]
+        assert starts == list(range(0, 64, 10))
+
+    def test_slice_store_is_zero_copy_with_private_counters(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        sub = store.slice(8, 24)
+        assert sub.count == 16
+        assert sub.page_bytes == store.page_bytes
+        assert np.shares_memory(sub.dataset.values, dataset.values)
+        sub.scan()
+        assert store.counter.random_accesses == 0  # parent untouched
+        np.testing.assert_array_equal(sub.dataset.values, dataset.values[8:24])
+
     def test_values_survive_unchanged_after_queries(self, dataset):
         from repro.core.queries import KnnQuery
         from repro import create_method
