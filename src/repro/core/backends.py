@@ -248,14 +248,20 @@ class MmapBackend(StorageBackend):
             itemsize = np.dtype(SERIES_DTYPE).itemsize
             row_bytes = self._length * itemsize
             size = path.stat().st_size
-            if size == 0 or size % row_bytes != 0:
+            if size % row_bytes != 0:
                 raise ValueError(
                     f"{path}: size {size} is not a multiple of the "
                     f"{row_bytes}-byte rows implied by length={self._length}"
                 )
-            root = np.memmap(
-                path, dtype=SERIES_DTYPE, mode="r", shape=(size // row_bytes, self._length)
-            )
+            if size == 0:
+                # Zero-byte files cannot be mapped; a frozen empty array keeps
+                # the zero-row collection loadable through the same interface.
+                root = np.empty((0, self._length), dtype=SERIES_DTYPE)
+                root.setflags(write=False)
+            else:
+                root = np.memmap(
+                    path, dtype=SERIES_DTYPE, mode="r", shape=(size // row_bytes, self._length)
+                )
         else:
             root = np.load(path, mmap_mode="r")
             if not isinstance(root, np.memmap):

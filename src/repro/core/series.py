@@ -115,8 +115,8 @@ class Dataset:
             raise ValueError(
                 f"Dataset values must be 2-d (count, length); got ndim={values.ndim}"
             )
-        if values.shape[0] == 0 or values.shape[1] == 0:
-            raise ValueError("Dataset must contain at least one non-empty series")
+        if values.shape[1] == 0:
+            raise ValueError("Dataset series must contain at least one point")
         self.values = values
 
     # -- basic geometry ----------------------------------------------------
@@ -332,6 +332,11 @@ class SeriesFileWriter:
         arr = np.ascontiguousarray(np.atleast_2d(np.asarray(chunk, dtype=SERIES_DTYPE)))
         if arr.ndim != 2:
             raise ValueError(f"chunks must be 2-d (m, length); got ndim={arr.ndim}")
+        if arr.shape[1] == 0:
+            # An empty chunk (e.g. the last block of an exactly-divided stream)
+            # carries no rows and no geometry; writing nothing keeps the file
+            # valid instead of poisoning the writer with length 0.
+            return 0
         if self._length is None:
             self._length = int(arr.shape[1])
         elif arr.shape[1] != self._length:
@@ -347,8 +352,13 @@ class SeriesFileWriter:
             return
         try:
             if self._is_npy:
-                if self._count == 0 or self._length is None:
-                    raise ValueError("cannot finalize an empty .npy series file")
+                if self._length is None:
+                    raise ValueError(
+                        "cannot finalize a .npy series file of unknown length; "
+                        "pass length= or append at least one chunk"
+                    )
+                # A zero-row file is valid: the fixed-size preamble records the
+                # (0, length) shape and Dataset.from_file loads it back empty.
                 self._handle.seek(0)
                 self._handle.write(_npy_preamble(self._count, self._length))
         finally:

@@ -37,6 +37,13 @@ DEFAULT_PAGE_BYTES = 65536
 #: default streaming-scan chunk size in bytes (see :meth:`SeriesStore.scan_chunks`).
 DEFAULT_SCAN_CHUNK_BYTES = 8 * 1024 * 1024
 
+#: default chunk size for the *builder* streams (:meth:`SeriesStore.scan_blocks`,
+#: :meth:`SeriesStore.peek_chunks`).  Smaller than the scan default because a
+#: build pass double-buffers each chunk in float64 (2x) next to per-chunk
+#: kernel temporaries, so the chunk size bounds roughly 4-6x its bytes of
+#: transient residency.
+DEFAULT_BUILD_CHUNK_BYTES = 4 * 1024 * 1024
+
 
 class SeriesStore:
     """Page-oriented, accounted view over a :class:`~repro.core.series.Dataset`.
@@ -165,6 +172,55 @@ class SeriesStore:
                 # fault, so a strictly chunk-local drop slowly re-accumulates
                 # residency along the scan.
                 self.backend.release(max(0, start - chunk_rows), stop)
+
+    def scan_blocks(self, chunk_rows: int | None = None):
+        """Builder variant of :meth:`scan_chunks`: ``(slice, float64 block)``.
+
+        Index bulk builds summarize in float64; yielding the conversion here
+        keeps exactly one chunk's float64 staging buffer alive at a time (the
+        whole-collection ``astype`` of the historical in-RAM builds is what
+        made tree construction cost a multiple of the file in RSS).
+        Accounting is exactly :meth:`scan_chunks`'s, i.e. exactly
+        :meth:`scan`'s.
+        """
+        if chunk_rows is None:
+            chunk_rows = max(1, DEFAULT_BUILD_CHUNK_BYTES // self._series_bytes)
+        for start, block in self.scan_chunks(chunk_rows=chunk_rows):
+            yield slice(start, start + block.shape[0]), block.astype(np.float64)
+
+    def peek_chunks(self, positions: np.ndarray, chunk_rows: int | None = None):
+        """Unaccounted chunked reads of the rows at ``positions``.
+
+        The streaming counterpart of :meth:`peek` for index builders that
+        revisit a node's rows (e.g. DSTree split scoring): yields
+        ``(slice, float64 block)`` pairs where the slice indexes into
+        ``positions`` and the block holds the corresponding rows.  Like
+        :meth:`peek` it moves no counters — build passes are accounted once by
+        the explicit scan.  On the mmap backend the consumed rows' pages are
+        released with a one-chunk lookback, so residency stays bounded by the
+        chunk size; ``positions`` is assumed ascending (index leaves keep
+        their positions sorted), which makes the released spans contiguous.
+        """
+        idx = np.asarray(positions, dtype=np.int64)
+        if chunk_rows is None:
+            chunk_rows = max(1, DEFAULT_BUILD_CHUNK_BYTES // self._series_bytes)
+        chunk_rows = max(1, int(chunk_rows))
+        previous_low: int | None = None
+        start = 0
+        while start < idx.size:
+            # Cap the chunk by *store-row span* as well as by count: reading a
+            # sparse position set faults every touched page across its span,
+            # so count-only chunks over well-scattered rows (a split node's
+            # block) would hold a large slice of the file resident at once.
+            stop = min(start + chunk_rows, idx.size)
+            span_stop = int(np.searchsorted(idx, int(idx[start]) + chunk_rows, "left"))
+            stop = max(start + 1, min(stop, span_stop))
+            # Like peek: no simulated counters and no measured-I/O timing.
+            yield slice(start, stop), self.backend.take(idx[start:stop]).astype(np.float64)
+            low, high = int(idx[start]), int(idx[stop - 1]) + 1
+            self.backend.release(low if previous_low is None else previous_low, high)
+            previous_low = low
+            start = stop
 
     def read_block(self, positions: np.ndarray | list[int]) -> np.ndarray:
         """Read the series at ``positions`` as one contiguous block access.

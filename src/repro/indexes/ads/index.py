@@ -19,7 +19,7 @@ from ...core.answers import KnnAnswerSet
 from ...core.distance import squared_euclidean_batch
 from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
-from ...summarization.sax import IsaxSummarizer
+from ...summarization.sax import IsaxSummarizer, summarize_stream
 from ..base import SearchMethod
 from .tree import AdsTree
 
@@ -43,6 +43,9 @@ class AdsPlusIndex(SearchMethod):
     build_mode:
         ``"bulk"`` (default) partitions the summary matrix with array
         operations; ``"incremental"`` forces the per-series insert loop.
+    build_chunk_rows:
+        Rows per streamed summarization chunk during construction (``None`` =
+        the store's default); never changes the built tree.
     """
 
     name = "ads+"
@@ -56,8 +59,9 @@ class AdsPlusIndex(SearchMethod):
         cardinality: int = 256,
         leaf_capacity: int = 100,
         build_mode: str = "bulk",
+        build_chunk_rows: int | None = None,
     ) -> None:
-        super().__init__(store, build_mode=build_mode)
+        super().__init__(store, build_mode=build_mode, build_chunk_rows=build_chunk_rows)
         segments = min(segments, store.length)
         self.summarizer = IsaxSummarizer(store.length, segments, cardinality)
         self.segments = segments
@@ -69,9 +73,15 @@ class AdsPlusIndex(SearchMethod):
 
     # -- construction -------------------------------------------------------------
     def _summarize_collection(self) -> None:
-        data = self.store.scan()  # single sequential pass over the raw file
-        self._paa = self.summarizer.paa.transform_batch(data)
-        self._symbols = self.summarizer.transform_batch(data)
+        # One streamed sequential pass (accounted exactly like a scan())
+        # computes both summary matrices SIMS keeps — the raw float64
+        # collection is never resident, only one chunk of it.
+        self._paa, self._symbols = summarize_stream(
+            self.summarizer,
+            self.store.scan_blocks(chunk_rows=self.build_chunk_rows),
+            self.store.count,
+            symbols=True,
+        )
 
     def _bulk_build(self) -> None:
         self._summarize_collection()

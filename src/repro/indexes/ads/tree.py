@@ -17,7 +17,7 @@ from ...core.soa import group_values
 from ...summarization.sax import (
     IsaxSummarizer,
     SaxWord,
-    group_rows,
+    group_root_words,
     symbolize_batch,
 )
 from ..isax.node import IsaxNode
@@ -41,17 +41,17 @@ class AdsTree:
     def bulk_insert(self, paa: np.ndarray, positions: np.ndarray | None = None) -> None:
         """Bulk-load the tree from a whole ``(series, segments)`` PAA matrix.
 
-        Root words are symbolized in one batch call, positions are grouped per
-        root child with a single lexsort, and overflowing leaves split through
-        the same block-level machinery as :meth:`insert` — no per-series loop.
+        Positions are grouped per root child by sorting bit-packed root words
+        (:func:`~repro.summarization.sax.group_root_words`), and overflowing
+        leaves split through the same block-level machinery as :meth:`insert`
+        — no per-series loop, no full word-matrix temporary.
         """
         if positions is None:
             positions = np.arange(paa.shape[0], dtype=np.int64)
         else:
             positions = np.asarray(positions, dtype=np.int64)
         base_cards = tuple([2] * self.segments)
-        root_words = symbolize_batch(paa, 2)
-        for key, idx in group_rows(root_words):
+        for key, idx in group_root_words(paa):
             child = self.root.children.get(key)
             if child is None:
                 word = SaxWord(symbols=key, cardinalities=base_cards)

@@ -89,13 +89,26 @@ class SearchMethod(abc.ABC):
     #: whether the method implements an array-native bulk-load constructor.
     supports_bulk_build: bool = False
 
-    def __init__(self, store: SeriesStore, build_mode: str = "bulk") -> None:
+    def __init__(
+        self,
+        store: SeriesStore,
+        build_mode: str = "bulk",
+        build_chunk_rows: int | None = None,
+    ) -> None:
         if build_mode not in ("bulk", "incremental"):
             raise ValueError("build_mode must be 'bulk' or 'incremental'")
+        if build_chunk_rows is not None and int(build_chunk_rows) <= 0:
+            raise ValueError("build_chunk_rows must be positive or None")
         # Thread-local execution context (set before the store property below).
         self._context = threading.local()
         self.store = store
         self.build_mode = build_mode
+        #: rows per streamed build chunk (None = the store's default chunk).
+        #: Bulk builds stream the collection in chunks of this many rows, so
+        #: peak build residency is one chunk plus the summaries — the chunk
+        #: size trades sequential-pass granularity for resident bytes and
+        #: never changes the built index (chunking is row-local).
+        self.build_chunk_rows = None if build_chunk_rows is None else int(build_chunk_rows)
         self.index_stats = IndexStats(method=self.name)
         self._built = False
 
@@ -301,6 +314,8 @@ class SearchMethod(abc.ABC):
         regardless of the collection size.  Scan-based methods call this at
         build time and feed the result to the tiled scans below.
         """
+        if chunk_rows is None:
+            chunk_rows = self.build_chunk_rows
         norms = np.empty(self.store.count, dtype=np.float64)
         for start, block in self.store.scan_chunks(chunk_rows=chunk_rows):
             b = block.astype(np.float64)

@@ -31,6 +31,8 @@ from ...summarization.eapca import (
     batch_segment_statistics,
     query_segment_stats,
     synopses_lower_bounds,
+    synopsis_from_statistics,
+    synopsis_from_stream,
 )
 from ..base import SearchMethod
 from .node import DsTreeNode, SplitPolicy
@@ -57,6 +59,9 @@ class DsTreeIndex(SearchMethod):
         ``"bulk"`` (default) recursively partitions whole position blocks;
         ``"incremental"`` forces the legacy one-series-at-a-time insert loop
         (the two produce query-equivalent trees).
+    build_chunk_rows:
+        Rows per streamed chunk for the build passes (``None`` = the store's
+        default); never changes the built tree.
     """
 
     name = "dstree"
@@ -71,8 +76,9 @@ class DsTreeIndex(SearchMethod):
         max_segments: int | None = None,
         buffer_capacity: int | None = None,
         build_mode: str = "bulk",
+        build_chunk_rows: int | None = None,
     ) -> None:
-        super().__init__(store, build_mode=build_mode)
+        super().__init__(store, build_mode=build_mode, build_chunk_rows=build_chunk_rows)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         initial_segments = max(1, min(initial_segments, store.length))
@@ -112,13 +118,19 @@ class DsTreeIndex(SearchMethod):
     def _bulk_build(self) -> None:
         """Array-native construction: the whole collection lands in the root,
         then overflowing nodes split recursively on vectorized block
-        statistics — the per-series routing loop never runs."""
-        data = self.store.scan()
+        statistics — the per-series routing loop never runs.
+
+        All raw-data access streams in chunks: the root synopsis folds one
+        accounted sequential pass (exactly a scan()'s counters), and every
+        split re-reads only its own node's rows through the unaccounted
+        chunked peek — so peak residency is one chunk plus one node's compact
+        per-row statistics, never the float64 collection.
+        """
         self._buffer = self._make_buffer()
         root = self.root
         root.positions.extend(np.arange(self.store.count, dtype=np.int64))
-        root.synopsis = NodeSynopsis.from_series(
-            np.asarray(data, dtype=np.float64), root.boundaries
+        root.synopsis = synopsis_from_stream(
+            self.store.scan_blocks(chunk_rows=self.build_chunk_rows), root.boundaries
         )
         self._buffer.add(id(root), root.size)
         if root.size > self.leaf_capacity:
@@ -166,21 +178,63 @@ class DsTreeIndex(SearchMethod):
         self._buffer.flush_all()
 
     # -- splitting ----------------------------------------------------------------------
+    def _vertical_candidates(self, boundaries: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Segments eligible for a vertical split, with their refined boundaries."""
+        segments = len(boundaries) - 1
+        out = []
+        for segment in range(segments):
+            width = boundaries[segment + 1] - boundaries[segment]
+            if width >= 2 and segments < self.max_segments:
+                out.append((segment, self._refine_boundaries(boundaries, segment)))
+        return out
+
+    def _node_blocks(self, positions: np.ndarray):
+        """The rows of one node as a chunked ``(slice, float64 block)`` stream."""
+        return self.store.peek_chunks(positions, chunk_rows=self.build_chunk_rows)
+
+    def _node_statistics(
+        self, boundaries: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, np.ndarray, np.ndarray]]]:
+        """Per-row split statistics of one node, streamed over its rows.
+
+        Returns ``(means, stds, verticals)``: the ``(size, segments)``
+        mean/std columns over ``boundaries`` plus, per vertically-splittable
+        segment, ``(segment, refined_boundaries, left_half_means)``.  These
+        compact columns (a few float64 per row) are everything split scoring
+        and redistribution need — the raw rows are consumed one chunk at a
+        time and never held, and every value matches the historical
+        whole-block computation bitwise because the statistics are row-local.
+        """
+        segments = len(boundaries) - 1
+        count = positions.size
+        means = np.empty((count, segments), dtype=np.float64)
+        stds = np.empty((count, segments), dtype=np.float64)
+        verticals = [
+            (segment, refined, np.empty(count, dtype=np.float64))
+            for segment, refined in self._vertical_candidates(boundaries)
+        ]
+        for rows, block in self._node_blocks(positions):
+            means[rows], stds[rows] = batch_segment_statistics(block, boundaries)
+            for segment, refined, left_means in verticals:
+                left_means[rows] = block[
+                    :, refined[segment] : refined[segment + 1]
+                ].mean(axis=1)
+        return means, stds, verticals
+
     def _candidate_policies(
-        self, node: DsTreeNode, data: np.ndarray
+        self, boundaries: np.ndarray, means: np.ndarray, stds: np.ndarray, verticals
     ) -> list[tuple[SplitPolicy, np.ndarray]]:
         """Candidate split policies with their per-series feature vectors.
 
-        The per-segment mean/std statistics are computed once for the whole
-        candidate block; every policy carries the feature vector it splits on,
-        so scoring and redistribution reuse it instead of re-slicing the raw
-        data per policy.
+        Every policy carries the (already streamed) feature column it splits
+        on, so scoring and redistribution reuse it instead of re-reading the
+        raw data per policy.
         """
         policies: list[tuple[SplitPolicy, np.ndarray]] = []
-        boundaries = node.boundaries
-        segments = len(boundaries) - 1
-        means, stds = batch_segment_statistics(data, boundaries)
-        for segment in range(segments):
+        vertical_by_segment = {
+            segment: (refined, left_means) for segment, refined, left_means in verticals
+        }
+        for segment in range(len(boundaries) - 1):
             seg_means = means[:, segment]
             seg_stds = stds[:, segment]
             policies.append(
@@ -204,12 +258,8 @@ class DsTreeIndex(SearchMethod):
                 )
             )
             # Vertical split: subdivide this segment in half if allowed.
-            width = boundaries[segment + 1] - boundaries[segment]
-            if width >= 2 and segments < self.max_segments:
-                refined = self._refine_boundaries(boundaries, segment)
-                left_means = data[:, refined[segment] : refined[segment + 1]].mean(
-                    axis=1
-                )
+            if segment in vertical_by_segment:
+                refined, left_means = vertical_by_segment[segment]
                 policies.append(
                     (
                         SplitPolicy(
@@ -253,16 +303,20 @@ class DsTreeIndex(SearchMethod):
     def _split_leaf(self, node: DsTreeNode) -> None:
         """Split an overflowing node on its best candidate policy.
 
-        Works on the node's whole position block: policies are scored from
-        vectorized per-segment statistics, and the winning policy's feature
-        vector partitions the block with one mask — both children adopt their
-        positions contiguously and build their synopses from their block in
-        one call.  The bulk loader and the incremental insert path both funnel
-        splits through here.
+        Works on the node's whole position block, streamed: policies are
+        scored from per-segment statistics accumulated one chunk at a time,
+        and the winning policy's feature column partitions the block with one
+        mask — both children adopt their positions contiguously and receive
+        synopses assembled from the already-streamed columns (horizontal
+        splits) or from one more chunked pass at the refined segmentation
+        (vertical splits).  The raw rows are never held whole; the bulk
+        loader and the incremental insert path both funnel splits through
+        here, and the result is bitwise identical to the historical
+        materialize-the-block path.
         """
         positions = node.position_block()
-        data = self.store.peek(positions).astype(np.float64)
-        candidates = self._candidate_policies(node, data)
+        means, stds, verticals = self._node_statistics(node.boundaries, positions)
+        candidates = self._candidate_policies(node.boundaries, means, stds, verticals)
         scored = [
             (self._policy_quality(values, policy.threshold), i, policy, values)
             for i, (policy, values) in enumerate(candidates)
@@ -285,11 +339,27 @@ class DsTreeIndex(SearchMethod):
         node.clear_payload()
         self._buffer.flush(id(node))
         left_mask = best_values <= best.threshold
+        # After the partition mask only the horizontal case still needs the
+        # stat columns (the children inherit the segmentation); dropping the
+        # rest here keeps at most one node's statistics (plus one streamed
+        # chunk) resident through the synopsis passes and the recursion below.
+        stat_columns = None if best.vertical else (means, stds)
+        del means, stds, verticals, candidates, scored, best_values
         for child, mask in ((node.left, left_mask), (node.right, ~left_mask)):
-            block = data[mask]
             child.positions.extend(positions[mask])
-            child.synopsis = NodeSynopsis.from_series(block, child.boundaries)
+            if stat_columns is None:
+                # The children live on a refined segmentation the parent's
+                # stat columns don't cover; fold their ranges in one more
+                # chunked pass over just this child's rows.
+                child.synopsis = synopsis_from_stream(
+                    self._node_blocks(child.position_block()), child.boundaries
+                )
+            else:
+                child.synopsis = synopsis_from_statistics(
+                    child.boundaries, stat_columns[0][mask], stat_columns[1][mask]
+                )
             self._buffer.add(id(child), child.size)
+        del stat_columns, left_mask
         for child in (node.left, node.right):
             if child.size > self.leaf_capacity:
                 self._split_leaf(child)

@@ -31,7 +31,8 @@ from ...core.storage import SeriesStore
 from ...summarization.sax import (
     IsaxSummarizer,
     SaxWord,
-    group_rows,
+    group_root_words,
+    summarize_stream,
     symbolize_batch,
 )
 from ..base import SearchMethod
@@ -61,6 +62,10 @@ class Isax2PlusIndex(SearchMethod):
         ``"bulk"`` (default) partitions the whole collection with array
         operations; ``"incremental"`` forces the legacy one-series-at-a-time
         insert loop (the two produce query-equivalent trees).
+    build_chunk_rows:
+        Rows per streamed summarization chunk during construction (``None`` =
+        the store's default).  The chunk size never changes the built tree —
+        only how much raw data is resident at once.
     """
 
     name = "isax2+"
@@ -75,8 +80,9 @@ class Isax2PlusIndex(SearchMethod):
         leaf_capacity: int = 100,
         buffer_capacity: int | None = None,
         build_mode: str = "bulk",
+        build_chunk_rows: int | None = None,
     ) -> None:
-        super().__init__(store, build_mode=build_mode)
+        super().__init__(store, build_mode=build_mode, build_chunk_rows=build_chunk_rows)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         segments = min(segments, store.length)
@@ -98,8 +104,14 @@ class Isax2PlusIndex(SearchMethod):
         )
 
     def _prepare_build(self) -> np.ndarray:
-        data = self.store.scan()  # one sequential pass to summarize the raw file
-        paa = self.summarizer.paa.transform_batch(data)
+        # One streamed sequential pass (accounted exactly like a scan()): only
+        # one raw chunk is resident at a time, and the build keeps the compact
+        # (count, segments) PAA matrix instead of the float64 collection.
+        paa = summarize_stream(
+            self.summarizer,
+            self.store.scan_blocks(chunk_rows=self.build_chunk_rows),
+            self.store.count,
+        )
         self._buffer = self._make_buffer()
         return paa
 
@@ -113,16 +125,16 @@ class Isax2PlusIndex(SearchMethod):
         """Array-native construction: batch summarize, partition, recurse.
 
         All root words (cardinality 2 per segment) come from one vectorized
-        symbolization; ``group_rows`` lexsorts the word matrix once to hand
-        each root child its whole position block, and overflowing leaves are
-        then split recursively with the same slice-and-mask machinery the
-        incremental path uses — no per-series Python routing anywhere.
+        symbolization; ``group_root_words`` sorts the bit-packed word keys
+        once to hand each root child its whole position block, and overflowing
+        leaves are then split recursively with the same slice-and-mask
+        machinery the incremental path uses — no per-series Python routing
+        anywhere.
         """
         paa = self._prepare_build()
         positions = np.arange(self.store.count, dtype=np.int64)
-        root_words = symbolize_batch(paa, 2)
         base_cards = tuple([2] * self.segments)
-        for key, idx in group_rows(root_words):
+        for key, idx in group_root_words(paa):
             word = SaxWord(symbols=key, cardinalities=base_cards)
             child = IsaxNode(word=word, depth=1, is_leaf=True, parent=self.root)
             self.root.children[key] = child

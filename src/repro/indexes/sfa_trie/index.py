@@ -26,7 +26,12 @@ from ...core.distance import squared_euclidean_batch
 from ...core.soa import GrowableArray, group_values, position_vector
 from ...core.stats import QueryStats
 from ...core.storage import SeriesStore
-from ...summarization.sfa import SfaSummarizer, lexicographic_order, prefix_groups
+from ...summarization.sfa import (
+    SfaSummarizer,
+    lexicographic_order,
+    prefix_groups,
+    words_stream,
+)
 from ..base import SearchMethod
 
 __all__ = ["SfaTrieIndex", "SfaTrieNode"]
@@ -108,6 +113,9 @@ class SfaTrieIndex(SearchMethod):
         ``"bulk"`` (default) radix-groups the word matrix per prefix level;
         ``"incremental"`` forces the per-series insert loop (the two produce
         identical tries).
+    build_chunk_rows:
+        Rows per streamed summarization chunk during construction (``None`` =
+        the store's default); never changes the built trie.
     """
 
     name = "sfa-trie"
@@ -123,8 +131,9 @@ class SfaTrieIndex(SearchMethod):
         leaf_capacity: int = 1000,
         sample_size: int = 2048,
         build_mode: str = "bulk",
+        build_chunk_rows: int | None = None,
     ) -> None:
-        super().__init__(store, build_mode=build_mode)
+        super().__init__(store, build_mode=build_mode, build_chunk_rows=build_chunk_rows)
         if leaf_capacity <= 0:
             raise ValueError("leaf_capacity must be positive")
         coefficients = min(coefficients, store.length)
@@ -140,10 +149,17 @@ class SfaTrieIndex(SearchMethod):
 
     # -- construction ----------------------------------------------------------------
     def _summarize_collection(self) -> None:
-        data = self.store.scan()
+        # The MCB breakpoints must exist before the first chunk can be
+        # symbolized, so the (small) sample is read ahead through the
+        # unaccounted peek — the historical path reused the already-scanned
+        # array here, so the counters stay identical: one scan per build.
         sample_count = min(self.sample_size, self.store.count)
-        self.summarizer.fit(data[:sample_count])
-        self._words = self.summarizer.transform_batch(data)
+        self.summarizer.fit(np.asarray(self.store.peek(slice(0, sample_count))))
+        self._words = words_stream(
+            self.summarizer,
+            self.store.scan_blocks(chunk_rows=self.build_chunk_rows),
+            self.store.count,
+        )
 
     def _incremental_build(self) -> None:
         self._summarize_collection()

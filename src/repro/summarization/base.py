@@ -52,6 +52,30 @@ class Summarizer(abc.ABC):
             return self.transform(arr)[np.newaxis, :]
         return np.vstack([self.transform(row) for row in arr])
 
+    def transform_stream(self, blocks, count: int, dtype=None) -> np.ndarray:
+        """Summarize a chunked stream of series into one ``(count, dims)`` matrix.
+
+        ``blocks`` yields ``(slice, block)`` pairs covering rows ``0:count``
+        (e.g. :meth:`repro.core.storage.SeriesStore.scan_blocks`); each block
+        is summarized independently with :meth:`transform_batch` and written
+        into its slice of the output.  Because every summarizer here is
+        row-local, the result is bitwise identical to ``transform_batch`` over
+        the whole collection — but only one chunk of raw float64 staging is
+        ever resident, which is what makes index bulk builds RSS-bounded.
+        ``dtype`` overrides the output storage width (values must fit; index
+        builders narrow bounded symbol matrices they retain long-term).
+        """
+        out: np.ndarray | None = None
+        for rows, block in blocks:
+            part = self.transform_batch(block)
+            if out is None:
+                out = np.empty((count, part.shape[1]), dtype=dtype or part.dtype)
+            out[rows] = part
+        if out is None:
+            # An empty stream (zero-row collection) still has a known width.
+            return np.empty((0, self.dimensions), dtype=dtype or np.float64)
+        return out
+
     def lower_bound_batch(
         self, query_summary: np.ndarray, candidate_summaries: np.ndarray
     ) -> np.ndarray:

@@ -20,6 +20,8 @@ __all__ = [
     "SegmentSynopsis",
     "NodeSynopsis",
     "batch_segment_statistics",
+    "synopsis_from_statistics",
+    "synopsis_from_stream",
     "query_segment_stats",
     "stack_synopses",
     "synopses_lower_bounds",
@@ -61,6 +63,64 @@ def batch_segment_statistics(
         means[:, j] = chunk.mean(axis=1)
         stds[:, j] = chunk.std(axis=1)
     return means, stds
+
+
+def synopsis_from_statistics(
+    boundaries: np.ndarray, means: np.ndarray, stds: np.ndarray
+) -> "NodeSynopsis":
+    """A :class:`NodeSynopsis` from already-computed per-row segment statistics.
+
+    ``means``/``stds`` are ``(series, segments)`` columns over ``boundaries``
+    (e.g. a node's streamed split statistics, possibly masked to one child's
+    rows).  Identical to :meth:`NodeSynopsis.from_series` over the raw block —
+    the min/max of the same float values — without touching the raw data
+    again, which is how the streamed DSTree build hands synopses to children
+    of a horizontal split.
+    """
+    segs = [
+        SegmentSynopsis(
+            mean_min=float(means[:, j].min()),
+            mean_max=float(means[:, j].max()),
+            std_min=float(stds[:, j].min()),
+            std_max=float(stds[:, j].max()),
+            width=int(boundaries[j + 1] - boundaries[j]),
+        )
+        for j in range(len(boundaries) - 1)
+    ]
+    return NodeSynopsis(boundaries=np.asarray(boundaries, dtype=np.int64), segments=segs)
+
+
+def synopsis_from_stream(blocks, boundaries: np.ndarray) -> "NodeSynopsis":
+    """A :class:`NodeSynopsis` accumulated over a chunked stream of raw rows.
+
+    Folds each chunk's per-row segment statistics into running min/max
+    ranges; min/max compose exactly across chunks, so the result is bitwise
+    identical to :meth:`NodeSynopsis.from_series` over the concatenated
+    block.  Used where no reusable stat columns exist (children of a vertical
+    DSTree split, whose refined segmentation differs from the parent's).
+    """
+    segments = len(boundaries) - 1
+    mean_min = np.full(segments, np.inf)
+    mean_max = np.full(segments, -np.inf)
+    std_min = np.full(segments, np.inf)
+    std_max = np.full(segments, -np.inf)
+    for _, block in blocks:
+        means, stds = batch_segment_statistics(block, boundaries)
+        np.minimum(mean_min, means.min(axis=0), out=mean_min)
+        np.maximum(mean_max, means.max(axis=0), out=mean_max)
+        np.minimum(std_min, stds.min(axis=0), out=std_min)
+        np.maximum(std_max, stds.max(axis=0), out=std_max)
+    segs = [
+        SegmentSynopsis(
+            mean_min=float(mean_min[j]),
+            mean_max=float(mean_max[j]),
+            std_min=float(std_min[j]),
+            std_max=float(std_max[j]),
+            width=int(boundaries[j + 1] - boundaries[j]),
+        )
+        for j in range(segments)
+    ]
+    return NodeSynopsis(boundaries=np.asarray(boundaries, dtype=np.int64), segments=segs)
 
 
 @dataclass

@@ -22,7 +22,9 @@ __all__ = [
     "sax_region_edges",
     "stack_words",
     "symbolize_batch",
+    "summarize_stream",
     "group_rows",
+    "group_root_words",
     "SaxWord",
     "IsaxSummarizer",
 ]
@@ -144,6 +146,70 @@ def symbolize_batch(paa_values: np.ndarray, cardinality: int) -> np.ndarray:
     the cached breakpoints replaces millions of per-series conversions.
     """
     return _symbolize(np.asarray(paa_values, dtype=np.float64), cardinality)
+
+
+def summarize_stream(
+    summarizer: "IsaxSummarizer", blocks, count: int, symbols: bool = False
+):
+    """Chunked driver for the iSAX bulk-build summaries.
+
+    Consumes ``(slice, float64 block)`` pairs (see
+    :meth:`repro.core.storage.SeriesStore.scan_blocks`) and fills the
+    ``(count, segments)`` PAA matrix — plus, with ``symbols=True``, the
+    full-cardinality symbol matrix ADS+ keeps for SIMS — one chunk at a time.
+    Both matrices are tiny next to the raw rows (8 + 8 bytes per segment per
+    series), so tree construction holds summaries instead of the collection;
+    every value is bitwise identical to the historical whole-collection
+    ``transform_batch`` because PAA and symbolization are row-local.
+
+    Returns ``paa`` or ``(paa, symbols)``.
+    """
+    paa = np.empty((count, summarizer.segments), dtype=np.float64)
+    syms = None
+    if symbols:
+        # Symbols are bounded by the cardinality; the matrix is retained for
+        # the index's whole lifetime, so store it at the narrowest safe width.
+        dtype = np.int16 if summarizer.cardinality <= 2**15 else np.int64
+        syms = np.empty((count, summarizer.segments), dtype=dtype)
+    for rows, block in blocks:
+        part = summarizer.paa.transform_batch(block)
+        paa[rows] = part
+        if syms is not None:
+            syms[rows] = _symbolize(part, summarizer.cardinality)
+    return paa if syms is None else (paa, syms)
+
+
+def group_root_words(paa: np.ndarray):
+    """Group rows by their cardinality-2 root word, bit-packed.
+
+    Yields exactly what ``group_rows(symbolize_batch(paa, 2))`` yields — the
+    ``(symbols tuple, ascending row indices)`` groups in lexicographic key
+    order — but packs each row's word into one integer key instead of
+    materializing and lexsorting a ``(series, segments)`` int64 word matrix:
+    the lex order of binary symbol tuples is the numeric order of the packed
+    keys (first segment in the most significant bit), and a stable integer
+    argsort keeps rows ascending within each group.  At bulk-build scale the
+    word matrix plus its lexsort copies dominated transient build memory.
+    """
+    arr = np.atleast_2d(np.asarray(paa, dtype=np.float64))
+    count, segments = arr.shape
+    if count == 0:
+        return
+    if segments > 63:  # pragma: no cover - packed keys no longer fit
+        yield from group_rows(symbolize_batch(arr, 2))
+        return
+    packed = np.zeros(count, dtype=np.int64)
+    for j in range(segments):
+        np.left_shift(packed, 1, out=packed)
+        packed |= _symbolize(arr[:, j], 2)
+    order = np.argsort(packed, kind="stable")
+    ordered = packed[order]
+    change = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
+    starts = np.concatenate(([0], change, [count]))
+    for start, stop in zip(starts[:-1], starts[1:]):
+        bits = int(ordered[start])
+        key = tuple((bits >> (segments - 1 - j)) & 1 for j in range(segments))
+        yield key, order[start:stop]
 
 
 def group_rows(rows: np.ndarray):
@@ -352,9 +418,16 @@ class IsaxSummarizer(Summarizer):
     def lower_bound_batch(
         self, query_summary: np.ndarray, candidate_summaries: np.ndarray
     ) -> np.ndarray:
-        """Vectorized MINDIST between a query PAA vector and many symbol rows."""
+        """Vectorized MINDIST between a query PAA vector and many symbol rows.
+
+        Integer ``candidate_summaries`` are used at their stored width — ADS+
+        keeps its full-resolution symbol matrix at int16, and forcing int64
+        here would copy the whole matrix on every SIMS query.
+        """
         q = np.asarray(query_summary, dtype=np.float64)
-        syms = np.asarray(candidate_summaries, dtype=np.int64)
+        syms = np.asarray(candidate_summaries)
+        if not np.issubdtype(syms.dtype, np.integer):
+            syms = syms.astype(np.int64)
         if syms.ndim == 1:
             syms = syms[np.newaxis, :]
         breakpoints = sax_breakpoints(self.cardinality)

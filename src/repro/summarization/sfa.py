@@ -16,7 +16,23 @@ import numpy as np
 from .base import Summarizer
 from .dft import DftSummarizer
 
-__all__ = ["SfaSummarizer", "lexicographic_order", "prefix_groups"]
+__all__ = ["SfaSummarizer", "words_stream", "lexicographic_order", "prefix_groups"]
+
+
+def words_stream(summarizer: "SfaSummarizer", blocks, count: int) -> np.ndarray:
+    """Chunked driver for the SFA batch transform.
+
+    Fills the ``(count, coefficients)`` integer word matrix from
+    ``(slice, float64 block)`` pairs, one chunk at a time.  The DFT and the
+    per-coefficient ``searchsorted`` are row-local, so the words are bitwise
+    identical to a whole-collection ``transform_batch`` — the trie bulk build
+    keeps only the word matrix (8 bytes per coefficient per series) resident
+    instead of the raw float64 collection.  The summarizer must be fitted.
+    """
+    # Symbols are bounded by the alphabet size; the matrix is retained for the
+    # trie's whole lifetime, so store it at the narrowest safe width.
+    dtype = np.int16 if summarizer.alphabet_size <= 2**15 else np.int64
+    return summarizer.transform_stream(blocks, count, dtype=dtype)
 
 
 def lexicographic_order(words: np.ndarray) -> np.ndarray:
@@ -26,9 +42,11 @@ def lexicographic_order(words: np.ndarray) -> np.ndarray:
     trie bulk loader: after sorting, every prefix group occupies a contiguous
     run, so each trie level partitions its slice with :func:`prefix_groups`
     instead of inserting words one at a time.  Stability keeps positions
-    ascending within identical words.
+    ascending within identical words.  The integer dtype of ``words`` is
+    preserved (the trie keeps its word matrix at a narrow width; coercing to
+    int64 here would copy the whole matrix).
     """
-    arr = np.atleast_2d(np.asarray(words, dtype=np.int64))
+    arr = np.atleast_2d(np.asarray(words))
     return np.lexsort(arr.T[::-1])
 
 
@@ -42,7 +60,7 @@ def prefix_groups(words: np.ndarray, order: np.ndarray, depth: int):
     """
     if order.size == 0:
         return
-    column = np.asarray(words, dtype=np.int64)[order, depth]
+    column = np.asarray(words)[order, depth]
     change = np.flatnonzero(column[1:] != column[:-1]) + 1
     starts = np.concatenate(([0], change, [order.size]))
     for start, stop in zip(starts[:-1], starts[1:]):

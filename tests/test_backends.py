@@ -110,9 +110,34 @@ class TestStreamedWriter:
         with pytest.raises(ValueError, match="closed"):
             writer.append(np.zeros((1, 4), dtype=np.float32))
 
-    def test_empty_npy_cannot_finalize(self, tmp_path):
-        writer = SeriesFileWriter(tmp_path / "empty.npy", length=4)
-        with pytest.raises(ValueError, match="empty"):
+    def test_zero_row_npy_round_trips(self, tmp_path):
+        path = tmp_path / "empty.npy"
+        with SeriesFileWriter(path, length=4) as writer:
+            pass
+        assert np.load(path).shape == (0, 4)
+        ds = Dataset.from_file(path)
+        assert (ds.count, ds.length) == (0, 4)
+
+    def test_zero_row_raw_round_trips(self, tmp_path):
+        path = tmp_path / "empty.f32"
+        count, length = write_series_file(path, [], length=8)
+        assert (count, length) == (0, 8)
+        ds = Dataset.from_file(path, length=8)
+        assert (ds.count, ds.length) == (0, 8)
+        assert SeriesStore(ds).scan().shape == (0, 8)
+
+    def test_empty_final_chunk_is_ignored(self, tmp_path):
+        path = tmp_path / "walks.npy"
+        with SeriesFileWriter(path, length=4) as writer:
+            writer.append(np.zeros((3, 4), dtype=np.float32))
+            writer.append(np.empty((0, 4), dtype=np.float32))
+            writer.append(np.array([], dtype=np.float32))
+        assert writer.count == 3
+        assert np.load(path).shape == (3, 4)
+
+    def test_unknown_length_empty_npy_still_fails(self, tmp_path):
+        writer = SeriesFileWriter(tmp_path / "empty.npy")
+        with pytest.raises(ValueError, match="length"):
             writer.close()
 
     def test_streamed_generator_is_chunk_invariant(self, tmp_path):

@@ -86,9 +86,15 @@ class TestDataset:
         with pytest.raises(ValueError):
             Dataset(values=np.zeros(10))
 
-    def test_rejects_empty(self):
+    def test_accepts_zero_rows(self):
+        # Zero-row collections are valid (a streamed writer may finalize
+        # before any chunk arrives); zero-length series are not.
+        ds = Dataset(values=np.zeros((0, 5)))
+        assert (ds.count, ds.length) == (0, 5)
+
+    def test_rejects_zero_length_series(self):
         with pytest.raises(ValueError):
-            Dataset(values=np.zeros((0, 5)))
+            Dataset(values=np.zeros((3, 0)))
 
     def test_from_array_normalizes(self):
         rng = np.random.default_rng(3)

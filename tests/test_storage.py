@@ -156,3 +156,62 @@ class TestReadOnlyViews:
         method.build()
         method.knn_exact(KnnQuery(series=np.asarray(dataset.values[0], dtype=np.float64), k=3))
         np.testing.assert_array_equal(dataset.values, original)
+
+
+class TestBuilderStreams:
+    """scan_blocks / peek_chunks: the chunked reads behind streamed builds."""
+
+    def test_scan_blocks_yields_float64_slices_with_scan_accounting(self, dataset):
+        whole = SeriesStore(dataset, page_bytes=1024)
+        chunked = SeriesStore(dataset, page_bytes=1024)
+        whole.scan()
+        pieces = list(chunked.scan_blocks(chunk_rows=7))
+        assert whole.counter == chunked.counter
+        for rows, block in pieces:
+            assert isinstance(rows, slice)
+            assert block.dtype == np.float64
+        assembled = np.vstack([block for _, block in pieces])
+        np.testing.assert_array_equal(assembled, dataset.values.astype(np.float64))
+        covered = [r for rows, _ in pieces for r in range(rows.start, rows.stop)]
+        assert covered == list(range(dataset.count))
+
+    def test_peek_chunks_moves_no_counters(self, dataset):
+        store = SeriesStore(dataset, page_bytes=1024)
+        positions = np.array([1, 5, 6, 30, 31, 40], dtype=np.int64)
+        blocks = list(store.peek_chunks(positions, chunk_rows=2))
+        assert store.counter.random_accesses == 0
+        assert store.counter.sequential_pages == 0
+        assert store.counter.bytes_read == 0
+        assembled = np.vstack([block for _, block in blocks])
+        np.testing.assert_array_equal(
+            assembled, dataset.values[positions].astype(np.float64)
+        )
+
+    def test_peek_chunks_slices_index_the_position_vector(self, dataset):
+        store = SeriesStore(dataset)
+        positions = np.array([3, 9, 27], dtype=np.int64)
+        for rows, block in store.peek_chunks(positions, chunk_rows=2):
+            np.testing.assert_array_equal(
+                block, dataset.values[positions[rows]].astype(np.float64)
+            )
+
+    def test_peek_chunks_caps_chunks_by_row_span(self, dataset):
+        # Scattered positions: the span cap must cut chunks so no single read
+        # covers more than chunk_rows of store rows (bounded page residency).
+        store = SeriesStore(dataset)
+        positions = np.array([0, 1, 2, 60, 61], dtype=np.int64)
+        chunks = list(store.peek_chunks(positions, chunk_rows=4))
+        assert len(chunks) == 2  # the gap forces a cut despite count <= chunk_rows
+        spans = [int(positions[r.stop - 1]) - int(positions[r.start]) for r, _ in chunks]
+        assert all(span < 4 for span in spans)
+
+    def test_peek_chunks_empty_positions(self, dataset):
+        store = SeriesStore(dataset)
+        assert list(store.peek_chunks(np.array([], dtype=np.int64))) == []
+
+    def test_scan_blocks_matches_scan_chunks_on_mmap(self, tmp_path, dataset):
+        path = tmp_path / "walks.npy"
+        dataset.to_file(path)
+        mm = SeriesStore(Dataset.from_file(path), backend="mmap")
+        assembled = np.vstack([b for _, b in mm.scan_blocks(chunk_rows=9)])
+        np.testing.assert_array_equal(assembled, dataset.values.astype(np.float64))
