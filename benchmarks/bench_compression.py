@@ -1,0 +1,268 @@
+"""Compressed quantized-block storage: ratio, throughput, and pruned-scan I/O.
+
+The compressed backend stores the collection as fixed-row blocks quantized to
+int8/int16 (per-block scale/offset) and deflated, and serves exact scans in
+two phases: quantized lower bounds filter whole tiles against the tightening
+best-so-far radius, full precision is fetched only for survivors.  This
+benchmark makes the two headline claims measurable:
+
+1. **Compression ratio and conversion throughput** — a random-walk collection
+   is streamed to ``.rcz`` at both precisions; the ratio over the raw float32
+   bytes and the conversion MB/s are recorded, along with the worst-case
+   quantization error of the stored (dequantized) values.
+2. **Pruned-scan I/O** — the flat scan answers the same workload on the
+   memory, mmap, and compressed backends; per-query ``QueryStats`` report the
+   *logical* bytes (float32 terms — what a scan touches conceptually) next to
+   the *physical* bytes (stored bytes actually fetched).  On memory/mmap the
+   two are equal by construction; on the compressed backend the physical
+   column shows the quantized filter pass plus full-precision refinement of
+   the surviving tiles only.
+
+Queries are rows of the dataset itself, so the best-so-far radius tightens
+fast and the pruned scan has realistic bite.  The flat tile is kept at least
+one quantization block wide — smaller tiles charge whole covering blocks per
+surviving tile and would inflate the physical column.
+
+``--require-gates`` enforces the acceptance bars:
+
+* int8 compression ratio at least 3.5x on z-normalized random walks;
+* the pruned flat scan's physical bytes at most 50% of the mmap scan's.
+
+Everything lands in a JSON artifact (``BENCH_compression.json``) for CI.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_compression.py            # full
+    PYTHONPATH=src python benchmarks/bench_compression.py --smoke    # CI
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+QDTYPES = ("int8", "int16")
+
+#: serving backends compared by the scan phase; compressed serves the int8
+#: conversion (the aggressive end — int16 physical bytes are ~2x).
+SCAN_BACKENDS = ("memory", "mmap", "compressed")
+
+#: acceptance bars enforced by --require-gates.
+MIN_INT8_RATIO = 3.5
+MAX_PRUNED_PHYSICAL_FRACTION = 0.50
+
+
+def convert(dataset, tmpdir: str, raw_bytes: int) -> list[dict]:
+    """Stream the collection to .rcz at every precision; ratio + throughput."""
+    rows = []
+    for qdtype in QDTYPES:
+        path = os.path.join(tmpdir, f"walks_{qdtype}.rcz")
+        start = time.perf_counter()
+        compressed = dataset.to_compressed(path, qdtype=qdtype)
+        seconds = time.perf_counter() - start
+        stored = os.path.getsize(path)
+        # Worst-case quantization error of the stored values, probed on a
+        # deterministic row sample (the whole collection may not fit in RAM).
+        sample = sorted({0, dataset.count - 1, *range(0, dataset.count, max(1, dataset.count // 256))})
+        err = float(
+            np.max(np.abs(compressed.backend.take(np.array(sample)) - dataset.row_sample(sample)))
+        )
+        rows.append(
+            {
+                "qdtype": qdtype,
+                "stored_bytes": stored,
+                "ratio": raw_bytes / stored,
+                "convert_s": seconds,
+                "convert_mb_per_s": raw_bytes / 2**20 / seconds if seconds else 0.0,
+                "max_quantization_error": err,
+                "path": path,
+            }
+        )
+    return rows
+
+
+def scan(raw_path: str, rcz_path: str, queries: int, k: int, length=None) -> list[dict]:
+    """Flat-scan the same workload on every backend; logical vs physical I/O."""
+    from repro import Dataset, SeriesStore, create_method
+    from repro.core.quantize import read_rcz_info
+
+    block_rows = read_rcz_info(rcz_path).block_rows
+    rows = []
+    for backend in SCAN_BACKENDS:
+        dataset = Dataset.from_file(
+            rcz_path if backend == "compressed" else raw_path, length=length
+        )
+        store = SeriesStore(dataset, backend=backend)
+        # Tile at least one quantization block wide: smaller tiles charge the
+        # whole covering block per surviving tile and inflate physical bytes.
+        method = create_method("flat", store, tile_series=max(4096, block_rows))
+        start = time.perf_counter()
+        method.build()
+        build_seconds = time.perf_counter() - start
+
+        batch = np.asarray(store.read_contiguous(0, queries), dtype=np.float64)
+        store.counter.reset()
+        start = time.perf_counter()
+        results = method.knn_exact_batch(batch, k=k)
+        seconds = time.perf_counter() - start
+
+        logical = sum(r.stats.bytes_read for r in results)
+        physical = sum(r.stats.physical_bytes_read for r in results)
+        examined = sum(r.stats.series_examined for r in results)
+        rows.append(
+            {
+                "backend": backend,
+                "build_s": build_seconds,
+                "queries_per_s": len(batch) / seconds if seconds else 0.0,
+                "logical_bytes": int(logical),
+                "physical_bytes": int(physical),
+                "series_examined": int(examined),
+                "positions_digest": hash_answers(results),
+            }
+        )
+    return rows
+
+
+def hash_answers(results) -> str:
+    import hashlib
+
+    digest = hashlib.sha256()
+    for result in results:
+        digest.update(repr(result.positions()).encode())
+    return digest.hexdigest()
+
+
+def check_gates(convert_rows: list[dict], scan_rows: list[dict]) -> list[str]:
+    """Gate failures (empty = pass)."""
+    failures = []
+    by_qdtype = {row["qdtype"]: row for row in convert_rows}
+    ratio = by_qdtype["int8"]["ratio"]
+    if ratio < MIN_INT8_RATIO:
+        failures.append(
+            f"int8 compression ratio {ratio:.2f}x is below the {MIN_INT8_RATIO}x bar"
+        )
+    by_backend = {row["backend"]: row for row in scan_rows}
+    mmap_physical = by_backend["mmap"]["physical_bytes"]
+    pruned_physical = by_backend["compressed"]["physical_bytes"]
+    if pruned_physical > MAX_PRUNED_PHYSICAL_FRACTION * mmap_physical:
+        failures.append(
+            f"pruned flat scan fetched {pruned_physical / 2**20:.1f} MiB physical, "
+            f"more than {MAX_PRUNED_PHYSICAL_FRACTION:.0%} of the mmap scan's "
+            f"{mmap_physical / 2**20:.1f} MiB"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized run")
+    parser.add_argument("--count", type=int, default=100_000, help="series in the dataset")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--queries", type=int, default=20, help="queries (dataset rows)")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per query")
+    parser.add_argument(
+        "--require-gates",
+        action="store_true",
+        help=f"fail unless the int8 ratio is at least {MIN_INT8_RATIO}x and the "
+        f"pruned flat scan's physical bytes are at most "
+        f"{MAX_PRUNED_PHYSICAL_FRACTION:.0%} of the mmap scan's",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_compression.json",
+        help="path for the JSON results ('' disables writing)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.count, args.length, args.queries = 8_000, 64, 8
+
+    from repro import Dataset
+    from repro.workloads import random_walk_to_file
+
+    with tempfile.TemporaryDirectory(prefix="bench-compression-") as tmpdir:
+        raw_path = os.path.join(tmpdir, "walks.npy")
+        start = time.perf_counter()
+        random_walk_to_file(raw_path, args.count, args.length, seed=2018, chunk_size=16384)
+        raw_bytes = os.path.getsize(raw_path)
+        print(
+            f"streamed {args.count} x {args.length} series "
+            f"({raw_bytes / 2**20:.1f} MiB raw) in {time.perf_counter() - start:.1f}s"
+        )
+
+        dataset = Dataset.from_file(raw_path)
+        convert_rows = convert(dataset, tmpdir, raw_bytes)
+        print(f"\n{'qdtype':<7} {'stored MiB':>10} {'ratio':>7} {'conv MB/s':>10} {'max err':>10}")
+        for row in convert_rows:
+            print(
+                f"{row['qdtype']:<7} {row['stored_bytes'] / 2**20:>10.2f} "
+                f"{row['ratio']:>6.2f}x {row['convert_mb_per_s']:>10.1f} "
+                f"{row['max_quantization_error']:>10.2e}"
+            )
+
+        rcz_path = next(r["path"] for r in convert_rows if r["qdtype"] == "int8")
+        scan_rows = scan(raw_path, rcz_path, args.queries, args.k)
+
+    print(
+        f"\nflat scan, {args.queries} queries x k={args.k} "
+        f"(logical = float32 terms, physical = stored bytes fetched)"
+    )
+    print(
+        f"{'backend':<11} {'build s':>8} {'q/s':>8} {'logical MiB':>12} "
+        f"{'physical MiB':>13} {'phys/log':>9} {'examined':>9}"
+    )
+    for row in scan_rows:
+        frac = row["physical_bytes"] / row["logical_bytes"] if row["logical_bytes"] else 0.0
+        print(
+            f"{row['backend']:<11} {row['build_s']:>8.2f} {row['queries_per_s']:>8.1f} "
+            f"{row['logical_bytes'] / 2**20:>12.2f} {row['physical_bytes'] / 2**20:>13.2f} "
+            f"{frac:>9.2f} {row['series_examined']:>9}"
+        )
+
+    failed = False
+    # The compressed backend serves dequantized values (lossy vs the original
+    # floats), so neighbor *positions* — robust to the tiny perturbation on
+    # self-queries — are compared, not distances.
+    digests = {row["backend"]: row["positions_digest"] for row in scan_rows}
+    if digests["memory"] != digests["mmap"]:
+        print("FAIL: memory and mmap answers differ", flush=True)
+        failed = True
+
+    if args.require_gates:
+        for failure in check_gates(convert_rows, scan_rows):
+            print(f"FAIL: {failure}", flush=True)
+            failed = True
+        if not failed:
+            print("\ngates: all green")
+
+    if args.json:
+        payload = {
+            "benchmark": "compression",
+            "count": args.count,
+            "length": args.length,
+            "queries": args.queries,
+            "k": args.k,
+            "raw_bytes": raw_bytes,
+            "convert": [
+                {k: v for k, v in row.items() if k != "path"} for row in convert_rows
+            ],
+            "scan": scan_rows,
+            "gates_checked": bool(args.require_gates),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

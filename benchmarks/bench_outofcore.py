@@ -70,6 +70,11 @@ TREE_METHODS = ("isax2+", "ads+", "dstree", "sfa-trie")
 
 BACKENDS = ("memory", "mmap")
 
+#: backends accepted by --backends; "compressed" serves the quantized .rcz
+#: conversion of the dataset while memory/mmap serve its *dequantized* .npy,
+#: so answers stay byte-comparable across all three.
+ALL_BACKENDS = ("memory", "mmap", "compressed")
+
 #: below this file size the RSS gates are skipped with a note: interpreter
 #: overhead (tens of MiB) dwarfs the data and any gate would measure noise.
 MIN_GATE_FILE_BYTES = 32 * 2**20
@@ -160,12 +165,14 @@ def _child(spec: dict) -> dict:
     }
 
 
-def run(path: str, methods: dict, queries: int, k: int) -> list[dict]:
+def run(
+    paths: dict, methods: dict, queries: int, k: int, backends: tuple = BACKENDS
+) -> list[dict]:
     rows = []
     for method, params in methods.items():
-        for backend in BACKENDS:
+        for backend in backends:
             spec = {
-                "path": path,
+                "path": paths[backend],
                 "method": method,
                 "params": params,
                 "backend": backend,
@@ -186,22 +193,34 @@ def run(path: str, methods: dict, queries: int, k: int) -> list[dict]:
 
 
 def check_gates(by_method: dict, file_bytes: int, methods: dict) -> list[str]:
-    """RSS-gate failures (empty = pass).  Callers pre-check the probe."""
+    """RSS-gate failures (empty = pass).  Callers pre-check the probe.
+
+    The out-of-core backends (mmap, compressed — whichever ran) are gated the
+    same way for the flat scan: peak RSS below the raw collection size and
+    below the memory backend's peak.
+    """
     failures = []
     if "flat" in methods:
         flat = by_method["flat"]
-        mmap_rss = flat["mmap"]["peak_rss_bytes"]
-        if mmap_rss >= file_bytes:
-            failures.append(
-                f"flat/mmap peak RSS {mmap_rss / 2**20:.1f} MiB is not below "
-                f"the raw file size {file_bytes / 2**20:.1f} MiB"
-            )
-        if mmap_rss >= flat["memory"]["peak_rss_bytes"]:
-            failures.append("flat/mmap peak RSS is not below the memory backend's")
+        for backend in ("mmap", "compressed"):
+            if backend not in flat:
+                continue
+            rss = flat[backend]["peak_rss_bytes"]
+            if rss >= file_bytes:
+                failures.append(
+                    f"flat/{backend} peak RSS {rss / 2**20:.1f} MiB is not below "
+                    f"the raw collection size {file_bytes / 2**20:.1f} MiB"
+                )
+            if "memory" in flat and rss >= flat["memory"]["peak_rss_bytes"]:
+                failures.append(
+                    f"flat/{backend} peak RSS is not below the memory backend's"
+                )
     for method in TREE_METHODS:
         if method not in methods:
             continue
         backends = by_method[method]
+        if "mmap" not in backends:
+            continue
         build_rss = backends["mmap"]["build_peak_rss_bytes"]
         startup = backends["mmap"]["startup_rss_bytes"]
         # The streamed build may hold one chunk plus the summary matrices and
@@ -212,7 +231,10 @@ def check_gates(by_method: dict, file_bytes: int, methods: dict) -> list[str]:
                 f"{method}/mmap build peak RSS grew {(build_rss - startup) / 2**20:.1f} "
                 f"MiB over startup, not below the file size {file_bytes / 2**20:.1f} MiB"
             )
-        if build_rss >= backends["memory"]["build_peak_rss_bytes"]:
+        if (
+            "memory" in backends
+            and build_rss >= backends["memory"]["build_peak_rss_bytes"]
+        ):
             failures.append(
                 f"{method}/mmap build peak RSS is not below the memory backend's"
             )
@@ -235,15 +257,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dataset-file",
         default=None,
-        help="reuse an existing dataset file instead of generating one",
+        help="reuse an existing dataset file instead of generating one "
+        "(a .rcz file is dequantized to a temporary .npy for the float "
+        "backends; any other file is quantized to a temporary .rcz when "
+        "'compressed' is among --backends)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(BACKENDS),
+        help="comma-separated backends to serve from "
+        f"(subset of {', '.join(ALL_BACKENDS)}; default memory,mmap)",
     )
     parser.add_argument(
         "--require-gates",
         action="store_true",
-        help="fail unless the mmap peak-RSS gates hold: the flat scan stays "
-        "below the raw file size, and every tree index's build phase stays "
-        "below the memory backend's and grows less than one file size over "
-        "startup (meaningful only when the file dwarfs interpreter overhead)",
+        help="fail unless the out-of-core peak-RSS gates hold: the flat scan "
+        "on mmap (and compressed, when run) stays below the raw collection "
+        "size, and every tree index's mmap build phase stays below the memory "
+        "backend's and grows less than one file size over startup (meaningful "
+        "only when the file dwarfs interpreter overhead)",
     )
     parser.add_argument(
         "--json",
@@ -270,14 +302,18 @@ def main(argv=None) -> int:
             parser.error(f"--methods selected nothing; available: {list(METHODS)}")
         methods = {m: METHODS[m] for m in wanted}
 
-    tmpdir = None
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    bad = [b for b in backends if b not in ALL_BACKENDS]
+    if bad or not backends:
+        parser.error(f"--backends must be a subset of {', '.join(ALL_BACKENDS)}")
+
+    tmpdir = tempfile.TemporaryDirectory(prefix="bench-outofcore-")
     if args.dataset_file:
         path = args.dataset_file
         file_bytes = os.path.getsize(path)
     else:
         from repro.workloads import random_walk_to_file
 
-        tmpdir = tempfile.TemporaryDirectory(prefix="bench-outofcore-")
         path = os.path.join(tmpdir.name, "walks.npy")
         start = time.perf_counter()
         random_walk_to_file(path, args.count, args.length, seed=2018, chunk_size=16384)
@@ -287,11 +323,39 @@ def main(argv=None) -> int:
             f"({file_bytes / 2**20:.1f} MiB) in {time.perf_counter() - start:.1f}s"
         )
 
+    # Per-backend serving paths.  Cross-backend digests must compare the same
+    # values, and quantization is lossy — so when "compressed" runs, the float
+    # backends serve the *dequantized* collection (a .rcz input is expanded;
+    # any other input is quantized to a temporary .rcz, then expanded back).
+    paths = {backend: path for backend in backends}
+    rcz_bytes = None
+    if "compressed" in backends or path.endswith(".rcz"):
+        from repro import Dataset
+
+        if path.endswith(".rcz"):
+            rcz_path = path
+            source = Dataset.from_file(path)
+        else:
+            rcz_path = os.path.join(tmpdir.name, "walks.rcz")
+            source = Dataset.from_file(path).to_compressed(rcz_path)
+        rcz_bytes = os.path.getsize(rcz_path)
+        paths["compressed"] = rcz_path
+        float_backends = [b for b in backends if b != "compressed"]
+        if float_backends:
+            deq_path = os.path.join(tmpdir.name, "walks_deq.npy")
+            source.to_file(deq_path)
+            file_bytes = os.path.getsize(deq_path)
+            for backend in float_backends:
+                paths[backend] = deq_path
+        print(
+            f"compressed collection: {rcz_bytes / 2**20:.1f} MiB .rcz "
+            f"({file_bytes / rcz_bytes:.2f}x smaller than raw)"
+        )
+
     try:
-        rows = run(path, methods, args.queries, args.k)
+        rows = run(paths, methods, args.queries, args.k, backends)
     finally:
-        if tmpdir is not None:
-            tmpdir.cleanup()
+        tmpdir.cleanup()
 
     by_method: dict[str, dict[str, dict]] = {}
     for row in rows:
@@ -303,15 +367,13 @@ def main(argv=None) -> int:
         f"{'query s':>9} {'batch q/s':>10} {'peak RSS MiB':>13} {'answers':>8}"
     )
     failed = False
-    for method, backends in by_method.items():
-        match = (
-            backends["memory"]["answers_digest"] == backends["mmap"]["answers_digest"]
-        )
+    for method, backend_rows in by_method.items():
+        match = len({r["answers_digest"] for r in backend_rows.values()}) == 1
         if not match:
             print(f"FAIL: {method} answers differ across backends", file=sys.stderr)
             failed = True
-        for backend in BACKENDS:
-            row = backends[backend]
+        for backend in backends:
+            row = backend_rows[backend]
             row["answers_match"] = match
             print(
                 f"{method:<14} {backend:<8} {row['build_s']:>8.2f} "
@@ -350,6 +412,8 @@ def main(argv=None) -> int:
             "queries": args.queries,
             "k": args.k,
             "file_bytes": file_bytes,
+            "rcz_bytes": rcz_bytes,
+            "backends": list(backends),
             "rss_probe": probe,
             "gates_checked": bool(args.require_gates and gates_checked),
             "rows": rows,

@@ -22,6 +22,12 @@ end to end:
 5. **Persist** the built index: the envelope records the backend and source
    path, so ``load_method(path)`` — with *no dataset argument* — reopens the
    mapping and serves immediately.
+6. **Compress**: ``Dataset.to_compressed`` streams the collection into the
+   quantized-block ``.rcz`` format (int8 + zlib here, ~4.5x smaller), and
+   scans over it switch to the two-phase pruned path — quantized lower bounds
+   skip whole tiles, full precision is fetched only for survivors — with
+   answers byte-identical to a memory backend over the same stored values and
+   ``physical_bytes_read`` a fraction of the logical ``bytes_read``.
 """
 
 from __future__ import annotations
@@ -100,6 +106,28 @@ def main() -> None:
                 a.positions() == b.positions()
                 for a, b in zip(reload_answers, mmap_answers)
             ),
+        )
+
+        # 6. Compress the collection into the quantized .rcz format and serve
+        # exact queries from a fraction of the bytes.
+        rcz_path = Path(tmp) / "walks.rcz"
+        compressed = dataset.to_compressed(rcz_path, qdtype="int8")
+        rcz_mb = os.path.getsize(rcz_path) / 2**20
+        print(
+            f"compressed to {rcz_mb:.1f} MiB .rcz "
+            f"({size_mb / rcz_mb:.1f}x smaller than raw float32)"
+        )
+        pruned = SimilaritySearchEngine(compressed)
+        print(f"compressed engine backend: {pruned.store.backend.kind}")
+        pruned.build("flat")
+        # Queries drawn from the data prune hard: the tightening best-so-far
+        # radius lets the quantized filter discard most tiles unread.
+        near = np.asarray(compressed.values[:3], dtype=np.float64)
+        result = pruned.method.knn_exact_batch(near, k=5)[0]
+        print(
+            f"pruned flat scan: {result.stats.physical_bytes_read / 2**20:.2f} MiB "
+            f"physical vs {result.stats.bytes_read / 2**20:.2f} MiB logical "
+            f"({result.stats.series_examined}/{compressed.count} series refined)"
         )
 
         # Bonus: calibrate a hardware cost model from *measured* I/O on this

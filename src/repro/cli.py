@@ -98,7 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--out",
         required=True,
-        help="output path (.npy, or .f32/.raw/.bin for headerless raw float32)",
+        help="output path (.npy, .f32/.raw/.bin for headerless raw float32, or "
+        ".rcz for the compressed quantized-block format)",
     )
     synth.add_argument("--count", type=int, required=True, help="number of series")
     synth.add_argument("--length", type=int, required=True, help="series length")
@@ -108,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=65536,
         help="series generated per chunk (bounds peak memory)",
+    )
+    synth.add_argument(
+        "--compress",
+        default=None,
+        choices=("int8", "int16"),
+        help="write the compressed quantized .rcz format at this precision "
+        "(requires a .rcz --out; a .rcz --out alone defaults to int8)",
     )
     return parser
 
@@ -159,8 +167,9 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         choices=BACKEND_KINDS,
         help="storage backend: 'memory' loads the collection into RAM, 'mmap' "
-        "serves it from a file without materializing it (a generated dataset "
-        "is first spilled to a temporary file)",
+        "serves it from a file without materializing it, 'compressed' serves "
+        "quantized .rcz blocks with pruned two-phase scans (a generated or "
+        "raw-file dataset is first spilled/converted to a temporary file)",
     )
 
 
@@ -169,7 +178,9 @@ def _make_dataset(args: argparse.Namespace, stack: ExitStack):
 
     ``--backend mmap`` without ``--dataset-file`` spills the generated
     collection to a temporary file (cleaned up on exit) so the run still
-    exercises the out-of-core path.
+    exercises the out-of-core path; ``--backend compressed`` likewise spills
+    to (or converts a non-``.rcz`` file into) a temporary quantized ``.rcz``
+    file, so any dataset flag combination exercises the pruned scans.
     """
     if args.dataset_file:
         path = Path(args.dataset_file)
@@ -193,6 +204,14 @@ def _make_dataset(args: argparse.Namespace, stack: ExitStack):
     if args.backend == "mmap" and dataset.backend is None:
         tmpdir = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-mmap-"))
         dataset = dataset.to_mmap(Path(tmpdir) / "dataset.npy")
+    elif args.backend == "compressed" and (
+        dataset.backend is None or dataset.backend.kind != "compressed"
+    ):
+        # Generated (or raw/npy-file) datasets are converted to a temporary
+        # .rcz so the run serves quantized blocks; note the served values are
+        # the dequantized ones (lossy relative to the original floats).
+        tmpdir = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-rcz-"))
+        dataset = dataset.to_compressed(Path(tmpdir) / "dataset.rcz")
     return dataset
 
 
@@ -323,27 +342,30 @@ def _command_synth(args: argparse.Namespace, out) -> int:
     if args.count <= 0 or args.length <= 0 or args.chunk_size <= 0:
         print("--count, --length, and --chunk-size must be positive", file=out)
         return 2
-    dataset = random_walk_to_file(
-        args.out,
-        count=args.count,
-        length=args.length,
-        seed=args.seed,
-        chunk_size=args.chunk_size,
-    )
+    try:
+        dataset = random_walk_to_file(
+            args.out,
+            count=args.count,
+            length=args.length,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+            compress=args.compress,
+        )
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
     size = Path(args.out).stat().st_size
     print(
         f"wrote {dataset.count} x {dataset.length} series "
         f"({size / (1024 * 1024):.1f} MiB) to {args.out}",
         file=out,
     )
-    length_hint = (
-        f" --length {args.length}"
-        if Path(args.out).suffix.lower() in RAW_SUFFIXES
-        else ""
-    )
+    suffix = Path(args.out).suffix.lower()
+    length_hint = f" --length {args.length}" if suffix in RAW_SUFFIXES else ""
+    backend_hint = "compressed" if dataset.backend.kind == "compressed" else "mmap"
     print(
         f"serve it with: repro run --method <name> --dataset-file {args.out}"
-        f"{length_hint} --backend mmap",
+        f"{length_hint} --backend {backend_hint}",
         file=out,
     )
     return 0

@@ -15,11 +15,22 @@ page-granular accounting on top.  Two backends are provided:
   (no raw data in the pickle) and :meth:`MmapBackend.fork` reopens the mapping
   with a private file handle, which is the per-worker contract of the parallel
   execution layer.
+* :class:`CompressedBackend` — a ``.rcz`` file of per-block quantized
+  (int8/int16), optionally DEFLATE-compressed series
+  (:mod:`repro.core.quantize`).  The quantized blocks are the primary storage;
+  the collection's canonical float32 values are their deterministic
+  dequantization, served block-at-a-time through a small decoded-block cache.
+  The backend additionally exposes the integer representation itself
+  (:meth:`CompressedBackend.quantized_parts`), which is what the two-phase
+  pruned-precision scans filter on before fetching full-precision survivors.
 
 Backends are deliberately accounting-free: every read primitive here is raw,
 and the counters (and therefore the simulated I/O models) are identical for
 every backend by construction, which is what makes memory/mmap answer- and
-counter-equivalence testable.
+counter-equivalence testable.  The one backend-dependent quantity — *physical*
+bytes stored for a row range — is reported by geometry-only queries
+(:meth:`StorageBackend.physical_bytes`), so the logical/physical accounting
+split stays deterministic too.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import abc
 import mmap as _mmap
 import os
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -37,6 +49,7 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "MmapBackend",
+    "CompressedBackend",
     "resolve_backend",
     "touch_pages",
     "BACKEND_KINDS",
@@ -44,7 +57,7 @@ __all__ = [
 ]
 
 #: the named backend kinds accepted wherever a backend is chosen by string.
-BACKEND_KINDS = ("memory", "mmap")
+BACKEND_KINDS = ("memory", "mmap", "compressed")
 
 
 def touch_pages(array: np.ndarray) -> None:
@@ -105,6 +118,23 @@ class StorageBackend(abc.ABC):
     def source_path(self) -> str | None:
         """Path of the backing file (``None`` for in-memory backends)."""
         return None
+
+    # -- physical geometry ----------------------------------------------------
+    #: whether the backend stores a quantized representation that the pruned
+    #: two-phase scans can filter on (see :meth:`CompressedBackend.quantized_parts`).
+    supports_quantized_scan: bool = False
+
+    def physical_bytes(self, start: int, stop: int) -> int:
+        """Stored bytes backing rows ``start:stop`` (geometry only, no reads).
+
+        Equal to the logical float32 bytes for uncompressed backends; the
+        compressed backend reports the stored bytes of the covering blocks.
+        """
+        return max(0, int(stop) - int(start)) * self.series_bytes
+
+    def physical_bytes_for(self, positions: np.ndarray) -> int:
+        """Stored bytes backing the rows at ``positions`` (geometry only)."""
+        return int(np.asarray(positions).size) * self.series_bytes
 
     # -- raw reads -----------------------------------------------------------
     def read_rows(self, start: int, stop: int) -> np.ndarray:
@@ -359,6 +389,312 @@ class MmapBackend(StorageBackend):
         self.__dict__.update(state)
 
 
+class CompressedBackend(StorageBackend):
+    """A ``.rcz`` file of quantized, optionally compressed series blocks.
+
+    The quantized blocks are the *primary* storage: the collection's canonical
+    float32 values are their deterministic dequantization
+    (:func:`repro.core.quantize.dequantize_block`), so every read path —
+    row reads, chunk scans, full materialization, any backend fork — serves
+    bit-identical bytes.  Relative to the float data the file was written
+    from, int8/int16 quantization is lossy; exactness claims are always with
+    respect to the stored (dequantized) values.
+
+    Parameters
+    ----------
+    path:
+        The ``.rcz`` file (written by
+        :class:`~repro.core.quantize.CompressedFileWriter` or
+        :meth:`Dataset.to_compressed`).
+    start / stop:
+        Optional contiguous row range, making the backend a zero-copy slice
+        of the file (the sharded executor's partitioning handle).  Blocks are
+        file-global, so a non-block-aligned slice simply trims the decoded
+        boundary blocks.
+    cache_blocks:
+        Decoded-block LRU capacity.  Bounds the transient residency of a
+        streamed scan to ``cache_blocks * block_rows`` rows of integers
+        regardless of the collection size.
+
+    Lazy-open and picklable by (path, row range): the header/table, file
+    handle, block cache, and any materialized values are all dropped from the
+    pickle and rebuilt on first use, exactly like :class:`MmapBackend`.
+    """
+
+    kind = "compressed"
+    supports_quantized_scan = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+        cache_blocks: int = 16,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._start = int(start)
+        self._stop = int(stop) if stop is not None else None
+        self._cache_blocks = max(2, int(cache_blocks))
+        self._info = None
+        self._handle = None
+        self._cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._values: np.ndarray | None = None
+        self._open()  # validate eagerly; reopened lazily after unpickling
+
+    # -- file lifecycle --------------------------------------------------------
+    def _open(self):
+        from .quantize import read_rcz_info
+
+        if self._info is None:
+            self._info = read_rcz_info(self._path)
+            if self._stop is None:
+                self._stop = self._info.count
+            if not (0 <= self._start <= self._stop <= self._info.count):
+                raise ValueError(
+                    f"{self._path}: row range [{self._start}, {self._stop}) out of "
+                    f"bounds for {self._info.count} rows"
+                )
+        if self._handle is None:
+            self._handle = open(self._path, "rb")
+        return self._info
+
+    @property
+    def info(self):
+        """Parsed file geometry (:class:`repro.core.quantize.RczInfo`)."""
+        return self._open()
+
+    @property
+    def source_path(self) -> str | None:
+        return self._path
+
+    @property
+    def count(self) -> int:
+        self._open()
+        return self._stop - self._start
+
+    @property
+    def length(self) -> int:
+        return self._open().length
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(SERIES_DTYPE)
+
+    @property
+    def quantized_itemsize(self) -> int:
+        """Bytes per stored sample (1 for int8, 2 for int16): the *logical*
+        size of the quantized representation a filtering pass reads."""
+        return int(self._open().qdtype.itemsize)
+
+    # -- block decode ----------------------------------------------------------
+    def _block(self, index: int) -> tuple:
+        """Decoded ``(codes, scale, shift)`` of file-global block ``index``."""
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        from .quantize import decode_payload
+
+        info = self._open()
+        entry = info.table[index]
+        self._handle.seek(int(entry["offset"]))
+        payload = self._handle.read(int(entry["nbytes"]))
+        codes = decode_payload(
+            payload, info.codec, info.qdtype, int(entry["rows"]), info.length
+        )
+        block = (codes, np.float32(entry["scale"]), np.float32(entry["shift"]))
+        self._cache[index] = block
+        while len(self._cache) > self._cache_blocks:
+            self._cache.popitem(last=False)
+        return block
+
+    def _block_range(self, start: int, stop: int) -> tuple[int, int]:
+        """File-global blocks covering *absolute* rows ``start:stop``."""
+        rows = self._open().block_rows
+        if stop <= start:
+            return 0, 0
+        return start // rows, (stop + rows - 1) // rows
+
+    # -- raw reads -------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The whole view materialized (dequantized) — cached until released.
+
+        Methods that take the one-shot ``scan()`` view (UCR Suite, stepwise,
+        the spatial trees) pay the full decode once; streamed consumers never
+        call this.
+        """
+        if self._values is None:
+            out = np.empty((self.count, self.length), dtype=SERIES_DTYPE)
+            step = max(1, self._open().block_rows)
+            for lo in range(0, self.count, step):
+                hi = min(lo + step, self.count)
+                out[lo:hi] = self.read_rows(lo, hi)
+            out.setflags(write=False)
+            self._values = out
+        return self._values
+
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        from .quantize import dequantize_block
+
+        start = max(0, int(start))
+        stop = min(self.count, int(stop))
+        if stop <= start:
+            return np.empty((0, self.length), dtype=SERIES_DTYPE)
+        if self._values is not None:
+            return self._values[start:stop]
+        a0, a1 = start + self._start, stop + self._start
+        rows = self._open().block_rows
+        out = np.empty((a1 - a0, self.length), dtype=SERIES_DTYPE)
+        b0, b1 = self._block_range(a0, a1)
+        for b in range(b0, b1):
+            codes, scale, shift = self._block(b)
+            lo = max(a0, b * rows)
+            hi = min(a1, b * rows + codes.shape[0])
+            out[lo - a0 : hi - a0] = dequantize_block(
+                codes[lo - b * rows : hi - b * rows], scale, shift
+            )
+        return out
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        from .quantize import dequantize_block
+
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty((0, self.length), dtype=SERIES_DTYPE)
+        if self._values is not None:
+            return self._values[idx]
+        rows = self._open().block_rows
+        absolute = idx + self._start
+        out = np.empty((idx.size, self.length), dtype=SERIES_DTYPE)
+        blocks = absolute // rows
+        for b in np.unique(blocks):
+            codes, scale, shift = self._block(int(b))
+            mask = blocks == b
+            out[mask] = dequantize_block(
+                codes[absolute[mask] - int(b) * rows], scale, shift
+            )
+        return out
+
+    def row(self, position: int) -> np.ndarray:
+        return self.read_rows(int(position), int(position) + 1)[0]
+
+    def get(self, key) -> np.ndarray:
+        # Serve the common access shapes block-at-a-time so `peek` never
+        # materializes the collection; anything fancier falls back to values.
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self.count)
+            if step == 1:
+                return self.read_rows(start, stop)
+            return self.take(np.arange(start, stop, step))
+        if isinstance(key, (int, np.integer)):
+            return self.row(int(key))
+        arr = np.asarray(key)
+        if arr.ndim == 1 and arr.dtype != np.bool_:
+            return self.take(arr.astype(np.int64))
+        return self.values[key]
+
+    # -- quantized access ------------------------------------------------------
+    def quantized_parts(self, start: int, stop: int) -> list[tuple]:
+        """The integer representation of rows ``start:stop`` (view-relative).
+
+        Returns ``[(codes, scale, shift), ...]`` covering the range in order,
+        one entry per stored block (boundary blocks trimmed).  ``codes`` are
+        read-only views into the decoded-block cache — the pruned scans bound
+        distances on these, and the survivors' full-precision reads then hit
+        the same cached blocks.
+        """
+        start = max(0, int(start))
+        stop = min(self.count, int(stop))
+        if stop <= start:
+            return []
+        a0, a1 = start + self._start, stop + self._start
+        rows = self._open().block_rows
+        parts = []
+        b0, b1 = self._block_range(a0, a1)
+        for b in range(b0, b1):
+            codes, scale, shift = self._block(b)
+            lo = max(a0, b * rows)
+            hi = min(a1, b * rows + codes.shape[0])
+            parts.append((codes[lo - b * rows : hi - b * rows], scale, shift))
+        return parts
+
+    def physical_bytes(self, start: int, stop: int) -> int:
+        info = self._open()
+        a0 = self._start + max(0, int(start))
+        a1 = self._start + min(self.count, int(stop))
+        b0, b1 = self._block_range(a0, a1)
+        return info.stored_bytes(b0, b1)
+
+    def physical_bytes_for(self, positions: np.ndarray) -> int:
+        info = self._open()
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        blocks = np.unique((idx + self._start) // info.block_rows)
+        return int(info.table["nbytes"][blocks].astype(np.int64).sum())
+
+    # -- structure -------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "CompressedBackend":
+        if not (0 <= start <= stop <= self.count):
+            raise ValueError(f"slice [{start}, {stop}) out of bounds for {self.count} rows")
+        return CompressedBackend(
+            self._path,
+            start=self._start + start,
+            stop=self._start + stop,
+            cache_blocks=self._cache_blocks,
+        )
+
+    def fork(self) -> "CompressedBackend":
+        return CompressedBackend(
+            self._path,
+            start=self._start,
+            stop=self._stop,
+            cache_blocks=self._cache_blocks,
+        )
+
+    def release(self, start: int = 0, stop: int | None = None) -> None:
+        """Evict decoded blocks fully inside rows ``start:stop`` and any
+        materialized whole-view copy.  Boundary blocks shared with a
+        neighboring chunk stay cached, so a streamed scan never re-decodes a
+        block it is still consuming."""
+        self._values = None
+        if self._info is None or not self._cache:
+            return
+        rows = self._info.block_rows
+        a0 = self._start + max(0, int(start))
+        a1 = self._start + (self.count if stop is None else min(int(stop), self.count))
+        for b in [b for b in self._cache if b * rows >= a0 and (b + 1) * rows <= a1]:
+            del self._cache[b]
+
+    def describe(self) -> dict:
+        info = super().describe()
+        rcz = self._open()
+        info.update(
+            format="rcz",
+            start=self._start,
+            stop=self._stop,
+            qdtype=rcz.qdtype_name,
+            block_rows=rcz.block_rows,
+            compression=rcz.codec,
+            stored_bytes=self.physical_bytes(0, self.count),
+        )
+        return info
+
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_info"] = None  # geometry is reparsed from the path on unpickle
+        state["_handle"] = None
+        state["_cache"] = OrderedDict()
+        state["_values"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
 def resolve_backend(dataset, backend=None) -> StorageBackend:
     """Resolve a backend choice for ``dataset``.
 
@@ -369,9 +705,10 @@ def resolve_backend(dataset, backend=None) -> StorageBackend:
     behavior with zero changes.
 
     Choosing ``"memory"`` for a file-backed dataset materializes the
-    collection into RAM (that is the point of comparing the two backends on
-    the same file); choosing ``"mmap"`` requires a file-backed dataset — use
-    :meth:`Dataset.from_file` or :meth:`Dataset.to_mmap` first.
+    collection into RAM (that is the point of comparing backends on the same
+    data); choosing ``"mmap"`` or ``"compressed"`` requires a dataset already
+    backed by the matching file kind — use :meth:`Dataset.from_file`,
+    :meth:`Dataset.to_mmap`, or :meth:`Dataset.to_compressed` first.
     """
     if isinstance(backend, StorageBackend):
         return backend
@@ -389,5 +726,12 @@ def resolve_backend(dataset, backend=None) -> StorageBackend:
         raise ValueError(
             "the mmap backend needs a file-backed dataset; open it with "
             "Dataset.from_file() or spill it with Dataset.to_mmap() first"
+        )
+    if kind == "compressed":
+        if attached is not None and attached.kind == "compressed":
+            return attached
+        raise ValueError(
+            "the compressed backend needs a .rcz-backed dataset; convert with "
+            "Dataset.to_compressed() or open one with Dataset.from_file()"
         )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}")

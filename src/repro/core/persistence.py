@@ -7,10 +7,11 @@ the dataset they were built on; loading verifies the fingerprint so a stale
 index is never silently used against different data.
 
 The envelope also records the *storage provenance* of the store the method was
-built on — backend kind, source file path, page geometry — so an index built
-over a memory-mapped dataset file can be reloaded with no dataset object at
-all: :func:`load_method` reopens the recorded file lazily and re-attaches an
-mmap-backed store.
+built on — backend kind, source file path, page geometry, and (for the
+compressed backend) the quantization parameters — so an index built over a
+dataset file can be reloaded with no dataset object at all:
+:func:`load_method` reopens the recorded file lazily and re-attaches a store
+of the recorded backend kind (mmap or compressed).
 
 The format is Python pickle.  Pickle is appropriate here because indexes are
 local artifacts produced and consumed by the same trusted user; never load
@@ -26,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .series import Dataset
+from .series import SERIES_DTYPE, Dataset
 from .storage import DEFAULT_PAGE_BYTES, SeriesStore
 
 __all__ = ["dataset_fingerprint", "save_method", "load_method", "IndexEnvelope"]
@@ -48,8 +49,10 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     fingerprint is identical across backends (same bytes, same hash).
     """
     digest = hashlib.sha256()
-    digest.update(str(tuple(dataset.values.shape)).encode())
-    digest.update(str(dataset.values.dtype).encode())
+    # Geometry from the dataset, not from `.values` — fingerprinting must not
+    # materialize a lazily-backed (mmap/compressed) collection.
+    digest.update(str((dataset.count, dataset.length)).encode())
+    digest.update(str(np.dtype(SERIES_DTYPE)).encode())
     count = dataset.count
     if count > 0:
         # Degenerate counts (0, 1) must not index with -1: build the sample
@@ -157,17 +160,26 @@ def load_method(
             )
         # Reopen exactly the recorded row range: an index built over a slice
         # of the file (e.g. a shard store) must not come back over the whole
-        # file — the fingerprint check would reject it.
-        from .backends import MmapBackend
+        # file — the fingerprint check would reject it.  The backend kind is
+        # recorded too, so a compressed index reopens compressed (with its
+        # quantization geometry coming from the .rcz header itself).
+        from .backends import CompressedBackend, MmapBackend
 
-        backend = MmapBackend(
-            source,
-            length=storage.get("length"),
-            start=storage.get("start", 0),
-            stop=storage.get("stop"),
-        )
+        if storage.get("kind") == "compressed":
+            backend = CompressedBackend(
+                source,
+                start=storage.get("start", 0),
+                stop=storage.get("stop"),
+            )
+        else:
+            backend = MmapBackend(
+                source,
+                length=storage.get("length"),
+                start=storage.get("start", 0),
+                stop=storage.get("stop"),
+            )
         dataset = Dataset(
-            values=backend.values,
+            values=None,
             name=envelope.dataset_name,
             metadata={"source_path": str(source), "format": storage.get("format")},
             backend=backend,

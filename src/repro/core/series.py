@@ -12,7 +12,6 @@ paper's experimental setup ("All methods use single precision values").
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -80,60 +79,97 @@ def is_znormalized(series: np.ndarray, atol: float = 1e-2) -> bool:
     return bool(np.all(ok_mean & ok_std))
 
 
-@dataclass
 class Dataset:
-    """An in-memory collection of equal-length data series.
+    """A collection of equal-length data series.
 
     The paper operates on multi-hundred-gigabyte raw files; this reproduction
-    keeps the collection in a NumPy array and simulates the raw-file access
-    pattern through :class:`repro.core.storage.SeriesStore`.
+    serves the collection through :class:`repro.core.storage.SeriesStore`,
+    either from an in-memory array or from an attached file backend.
 
     Attributes
     ----------
     values:
-        Array of shape ``(count, length)`` holding one series per row.
+        Array of shape ``(count, length)`` holding one series per row.  For a
+        dataset constructed with ``values=None`` and a file backend, this is a
+        *lazy* property: geometry (``count``/``length``) comes from the
+        backend and the array materializes only when ``values`` itself is
+        touched — streamed consumers (``scan_chunks`` and friends) never do,
+        which is what keeps the compressed backend out-of-core.
     name:
         Human readable dataset name (used by the benchmark harness).
     normalized:
         Whether the rows are z-normalized.  The paper normalizes every dataset
         in advance; the workload generators in :mod:`repro.workloads` do the
         same by default.
+    backend:
+        Attached storage backend for file-backed datasets
+        (``Dataset.from_file``); ``None`` for plain in-memory datasets.  When
+        present the dataset pickles by path, not by bytes.
     """
 
-    values: np.ndarray
-    name: str = "dataset"
-    normalized: bool = True
-    metadata: dict = field(default_factory=dict)
-    #: attached storage backend for file-backed datasets (``Dataset.from_file``);
-    #: ``None`` for plain in-memory datasets.  When present, ``values`` is a lazy
-    #: view into the backing file and the dataset pickles by path, not by bytes.
-    backend: object | None = field(default=None, repr=False, compare=False)
+    def __init__(
+        self,
+        values: np.ndarray | None = None,
+        name: str = "dataset",
+        normalized: bool = True,
+        metadata: dict | None = None,
+        backend: object | None = None,
+    ) -> None:
+        self.name = name
+        self.normalized = normalized
+        self.metadata = {} if metadata is None else metadata
+        self.backend = backend
+        if values is None:
+            if backend is None:
+                raise ValueError("Dataset needs values or a storage backend")
+            if backend.length == 0:
+                raise ValueError("Dataset series must contain at least one point")
+            self._values = None
+        else:
+            values = np.asarray(values, dtype=SERIES_DTYPE)
+            if values.ndim != 2:
+                raise ValueError(
+                    f"Dataset values must be 2-d (count, length); got ndim={values.ndim}"
+                )
+            if values.shape[1] == 0:
+                raise ValueError("Dataset series must contain at least one point")
+            self._values = values
 
-    def __post_init__(self) -> None:
-        values = np.asarray(self.values, dtype=SERIES_DTYPE)
-        if values.ndim != 2:
-            raise ValueError(
-                f"Dataset values must be 2-d (count, length); got ndim={values.ndim}"
-            )
-        if values.shape[1] == 0:
-            raise ValueError("Dataset series must contain at least one point")
-        self.values = values
+    @property
+    def values(self) -> np.ndarray:
+        if self._values is None:
+            self._values = self.backend.values
+        return self._values
+
+    @values.setter
+    def values(self, values: np.ndarray | None) -> None:
+        self._values = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Dataset(name={self.name!r}, count={self.count}, "
+            f"length={self.length}, normalized={self.normalized})"
+        )
 
     # -- basic geometry ----------------------------------------------------
     @property
     def count(self) -> int:
         """Number of series in the collection."""
-        return int(self.values.shape[0])
+        if self._values is None:
+            return int(self.backend.count)
+        return int(self._values.shape[0])
 
     @property
     def length(self) -> int:
         """Length (dimensionality) of each series."""
-        return int(self.values.shape[1])
+        if self._values is None:
+            return int(self.backend.length)
+        return int(self._values.shape[1])
 
     @property
     def nbytes(self) -> int:
-        """Size of the raw data in bytes (single precision)."""
-        return int(self.values.nbytes)
+        """Size of the raw (uncompressed) data in bytes (single precision)."""
+        return self.count * self.length * int(np.dtype(SERIES_DTYPE).itemsize)
 
     @property
     def paper_equivalent_gb(self) -> float:
@@ -157,20 +193,19 @@ class Dataset:
             yield row
 
     # -- pickling -----------------------------------------------------------
-    # File-backed datasets travel by path: the values view is dropped from the
-    # pickle and reopened from the backend on unpickle, so shard stores and
-    # persisted envelopes never embed the raw collection.
+    # File-backed datasets travel by path: the values array is dropped from
+    # the pickle and rebuilt lazily from the backend on first use, so shard
+    # stores and persisted envelopes never embed (or rematerialize) the raw
+    # collection.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         backend = state.get("backend")
         if backend is not None and getattr(backend, "source_path", None) is not None:
-            state["values"] = None
+            state["_values"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        if self.values is None and self.backend is not None:
-            self.values = self.backend.values
 
     # -- construction helpers ----------------------------------------------
     @classmethod
@@ -196,17 +231,27 @@ class Dataset:
     ) -> "Dataset":
         """Open a dataset file lazily, without loading the collection.
 
-        ``path`` is a ``.npy`` array file or a headerless raw little-endian
-        float32 file (``.f32``/``.raw``/``.bin``, which require ``length``).
-        With ``mmap=True`` (the default) the returned dataset's ``values`` is
-        a read-only memory-mapped view and the dataset carries an attached
-        :class:`~repro.core.backends.MmapBackend`, so every store built on it
-        serves reads out-of-core; ``mmap=False`` materializes the file into
-        RAM (an ordinary in-memory dataset).
+        ``path`` is a ``.npy`` array file, a headerless raw little-endian
+        float32 file (``.f32``/``.raw``/``.bin``, which require ``length``),
+        or a compressed quantized-block file (``.rcz``, written by
+        :meth:`to_compressed`).  With ``mmap=True`` (the default) the returned
+        dataset serves reads lazily through an attached backend
+        (:class:`~repro.core.backends.MmapBackend` or
+        :class:`~repro.core.backends.CompressedBackend`), so every store built
+        on it runs out-of-core; ``mmap=False`` materializes the file into RAM
+        (an ordinary in-memory dataset).
         """
-        from .backends import MmapBackend
+        from .backends import CompressedBackend, MmapBackend
+        from .quantize import RCZ_SUFFIX
 
-        backend = MmapBackend(path, length=length)
+        if Path(path).suffix.lower() == RCZ_SUFFIX:
+            backend = CompressedBackend(path)
+            if length is not None and backend.length != int(length):
+                raise ValueError(
+                    f"{path}: series length {backend.length} != expected {length}"
+                )
+        else:
+            backend = MmapBackend(path, length=length)
         meta = {"source_path": str(Path(path)), "format": backend.describe()["format"]}
         meta.update(metadata or {})
         if not mmap:
@@ -217,19 +262,69 @@ class Dataset:
                 metadata=meta,
             )
         return cls(
-            values=backend.values,
+            values=None,
             name=name or Path(path).stem,
             normalized=normalized,
             metadata=meta,
             backend=backend,
         )
 
+    def _iter_chunks(self, chunk_rows: int = 65536):
+        """Stream the collection in row chunks, lazily when file-backed."""
+        if self._values is not None or self.backend is None:
+            yield self.values
+            return
+        for start in range(0, self.count, chunk_rows):
+            yield self.backend.read_rows(start, min(start + chunk_rows, self.count))
+
     def to_file(self, path: str | Path) -> Path:
         """Write the collection to ``path`` (``.npy``, or raw f32 by suffix)."""
         path = Path(path)
         with SeriesFileWriter(path, length=self.length) as writer:
-            writer.append(self.values)
+            for chunk in self._iter_chunks():
+                writer.append(chunk)
         return path
+
+    def to_compressed(
+        self,
+        path: str | Path,
+        *,
+        qdtype: str = "int8",
+        block_rows: int | None = None,
+        compression: str = "zlib",
+        level: int = 6,
+    ) -> "Dataset":
+        """Quantize and compress the collection to a ``.rcz`` file, reopened lazily.
+
+        Series are stored as fixed-``block_rows`` blocks of ``qdtype``
+        (``"int8"``/``"int16"``) codes with per-block scale/shift, optionally
+        ``compression``-packed (``"zlib"``/``"none"``; ``"lz4"`` when the
+        package is installed).  Quantization is lossy relative to *this*
+        dataset's float values; the returned dataset's canonical values are
+        the deterministic dequantization, and every search on it is exact with
+        respect to those stored values.  The conversion streams chunk by
+        chunk, so collections larger than RAM convert in bounded memory.
+        """
+        from .quantize import DEFAULT_BLOCK_ROWS, CompressedFileWriter
+
+        path = Path(path)
+        block_rows = DEFAULT_BLOCK_ROWS if block_rows is None else int(block_rows)
+        with CompressedFileWriter(
+            path,
+            length=self.length,
+            qdtype=qdtype,
+            block_rows=block_rows,
+            compression=compression,
+            level=level,
+        ) as writer:
+            for chunk in self._iter_chunks(chunk_rows=max(block_rows, 16384)):
+                writer.append(chunk)
+        return Dataset.from_file(
+            path,
+            name=self.name,
+            normalized=self.normalized,
+            metadata=dict(self.metadata),
+        )
 
     def to_mmap(self, path: str | Path) -> "Dataset":
         """Spill the collection to ``path`` and reopen it memory-mapped.

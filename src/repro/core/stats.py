@@ -38,6 +38,10 @@ class AccessCounter:
     random_accesses: int = 0
     series_read: int = 0
     bytes_read: int = 0
+    #: bytes actually stored for the rows served (equal to ``bytes_read`` on
+    #: the uncompressed backends; the compressed backend's stored block bytes
+    #: otherwise, so the logical/physical split quantifies the compression win).
+    physical_bytes_read: int = 0
     #: bytes written to the simulated storage (construction-buffer spills).
     bytes_written: int = 0
     #: measured wall-clock seconds spent in backend reads (only accumulated by
@@ -49,6 +53,7 @@ class AccessCounter:
         self.random_accesses = 0
         self.series_read = 0
         self.bytes_read = 0
+        self.physical_bytes_read = 0
         self.bytes_written = 0
         self.measured_io_seconds = 0.0
 
@@ -58,6 +63,7 @@ class AccessCounter:
             random_accesses=self.random_accesses,
             series_read=self.series_read,
             bytes_read=self.bytes_read,
+            physical_bytes_read=self.physical_bytes_read,
             bytes_written=self.bytes_written,
             measured_io_seconds=self.measured_io_seconds,
         )
@@ -69,6 +75,7 @@ class AccessCounter:
             random_accesses=self.random_accesses - earlier.random_accesses,
             series_read=self.series_read - earlier.series_read,
             bytes_read=self.bytes_read - earlier.bytes_read,
+            physical_bytes_read=self.physical_bytes_read - earlier.physical_bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
             measured_io_seconds=self.measured_io_seconds - earlier.measured_io_seconds,
         )
@@ -78,6 +85,7 @@ class AccessCounter:
         self.random_accesses += other.random_accesses
         self.series_read += other.series_read
         self.bytes_read += other.bytes_read
+        self.physical_bytes_read += other.physical_bytes_read
         self.bytes_written += other.bytes_written
         self.measured_io_seconds += other.measured_io_seconds
 
@@ -96,8 +104,12 @@ class QueryStats:
     random_accesses: int = 0
     #: sequential page reads.
     sequential_pages: int = 0
-    #: bytes read from the simulated raw-data file.
+    #: logical bytes read from the simulated raw-data file (uncompressed view).
     bytes_read: int = 0
+    #: physical bytes read from storage (== ``bytes_read`` except on the
+    #: compressed backend, where it counts the stored block bytes actually
+    #: decoded — the measure the two-phase pruned scans minimize).
+    physical_bytes_read: int = 0
     #: index nodes visited (internal + leaf).
     nodes_visited: int = 0
     #: leaf nodes visited.
@@ -129,6 +141,7 @@ class QueryStats:
         self.random_accesses += other.random_accesses
         self.sequential_pages += other.sequential_pages
         self.bytes_read += other.bytes_read
+        self.physical_bytes_read += other.physical_bytes_read
         self.nodes_visited += other.nodes_visited
         self.leaves_visited += other.leaves_visited
         self.cpu_seconds += other.cpu_seconds

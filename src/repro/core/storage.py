@@ -135,6 +135,7 @@ class SeriesStore:
         self.counter.sequential_pages += self.total_pages
         self.counter.series_read += self.count
         self.counter.bytes_read += self.count * self._series_bytes
+        self.counter.physical_bytes_read += self.backend.physical_bytes(0, self.count)
 
     def scan(self) -> np.ndarray:
         """Full sequential scan of the raw file.
@@ -222,6 +223,51 @@ class SeriesStore:
             previous_low = low
             start = stop
 
+    @property
+    def supports_quantized_scan(self) -> bool:
+        """Whether :meth:`scan_quantized_chunks` is available (compressed backend)."""
+        return bool(getattr(self.backend, "supports_quantized_scan", False))
+
+    def scan_quantized_chunks(self, chunk_rows: int | None = None):
+        """Filtering pass over the *quantized* representation, tile by tile.
+
+        Yields ``(start, stop, parts)`` per tile of ``chunk_rows`` rows, where
+        ``parts`` is the backend's block-trimmed integer representation of the
+        tile (``[(codes, scale, shift), ...]``, see
+        :meth:`~repro.core.backends.CompressedBackend.quantized_parts`).  Tile
+        boundaries match :meth:`scan_chunks` exactly, which is what lets a
+        pruned two-phase scan refine a surviving tile with the *identical*
+        kernel shape the plain scan would have used — byte-identical answers.
+
+        Accounting mirrors :meth:`scan_chunks` but at the quantized
+        representation's cost: one seek; sequential pages and physical bytes
+        of the *stored* (compressed) stream; logical ``bytes_read`` of the
+        integer codes.  Survivor refinement is accounted separately by the
+        caller's :meth:`read_contiguous` calls (skip-sequential, like
+        VA+file).  Decoded blocks are dropped with a one-chunk lookback, so a
+        streamed pass stays RSS-bounded.
+        """
+        if not self.supports_quantized_scan:
+            raise ValueError(
+                f"the {self.backend.kind!r} backend stores no quantized "
+                "representation; scan_quantized_chunks needs the compressed backend"
+            )
+        if chunk_rows is None:
+            chunk_rows = max(1, DEFAULT_SCAN_CHUNK_BYTES // self._series_bytes)
+        chunk_rows = max(1, int(chunk_rows))
+        physical = self.backend.physical_bytes(0, self.count)
+        self.counter.random_accesses += 1
+        self.counter.sequential_pages += -(-physical // self.page_bytes)
+        self.counter.series_read += self.count
+        self.counter.bytes_read += (
+            self.count * self.length * self.backend.quantized_itemsize
+        )
+        self.counter.physical_bytes_read += physical
+        for start in range(0, self.count, chunk_rows):
+            stop = min(start + chunk_rows, self.count)
+            yield start, stop, self.backend.quantized_parts(start, stop)
+            self.backend.release(max(0, start - chunk_rows), stop)
+
     def read_block(self, positions: np.ndarray | list[int]) -> np.ndarray:
         """Read the series at ``positions`` as one contiguous block access.
 
@@ -238,6 +284,7 @@ class SeriesStore:
         self.counter.sequential_pages += self.pages_for_series(int(idx.size))
         self.counter.series_read += int(idx.size)
         self.counter.bytes_read += int(idx.size) * self._series_bytes
+        self.counter.physical_bytes_read += self.backend.physical_bytes_for(idx)
         return self._serve(lambda: self.backend.take(idx))
 
     def read_contiguous(self, start: int, stop: int) -> np.ndarray:
@@ -253,6 +300,7 @@ class SeriesStore:
         self.counter.sequential_pages += self.pages_for_series(count)
         self.counter.series_read += count
         self.counter.bytes_read += count * self._series_bytes
+        self.counter.physical_bytes_read += self.backend.physical_bytes(start, stop)
         return self._serve(lambda: self.backend.read_rows(start, stop))
 
     def read_one(self, position: int) -> np.ndarray:
@@ -261,6 +309,9 @@ class SeriesStore:
         self.counter.sequential_pages += 1
         self.counter.series_read += 1
         self.counter.bytes_read += self._series_bytes
+        self.counter.physical_bytes_read += self.backend.physical_bytes(
+            position, position + 1
+        )
         return self._serve(lambda: self.backend.row(position))
 
     def peek(self, positions: np.ndarray | list[int] | slice) -> np.ndarray:
@@ -300,11 +351,14 @@ class SeriesStore:
         picklable with no raw data attached), and its counters are private.
         """
         sub_backend = self.backend.slice(start, stop)
+        file_backed = sub_backend.source_path is not None
         sub_dataset = Dataset(
-            values=sub_backend.values,
+            # File-backed slices stay lazy (geometry from the backend): eagerly
+            # grabbing .values would decode a compressed shard wholesale.
+            values=None if file_backed else sub_backend.values,
             name=name or f"{self.dataset.name}[{start}:{stop}]",
             normalized=self.dataset.normalized,
-            backend=sub_backend if sub_backend.source_path is not None else None,
+            backend=sub_backend if file_backed else None,
         )
         return SeriesStore(
             sub_dataset,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-__all__ = ["render_table", "render_series", "format_seconds"]
+__all__ = ["render_table", "render_series", "format_seconds", "format_bytes"]
 
 
 def format_seconds(value: float) -> str:
@@ -23,6 +23,16 @@ def format_seconds(value: float) -> str:
     if value < 7200.0:
         return f"{value / 60.0:.1f}min"
     return f"{value / 3600.0:.2f}h"
+
+
+def format_bytes(value: int | float) -> str:
+    """Human-friendly byte count (binary units, matching the benches)."""
+    value = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0:
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.2f}TiB"
 
 
 def render_table(rows: Iterable[dict], title: str = "", floatfmt: str = "{:.4g}") -> str:

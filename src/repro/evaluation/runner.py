@@ -77,6 +77,18 @@ class ExperimentResult:
     def sequential_pages(self) -> int:
         return int(sum(s.sequential_pages for s in self.query_stats))
 
+    @property
+    def bytes_read(self) -> int:
+        """Logical bytes of raw data touched by the workload (float32 terms)."""
+        return int(sum(s.bytes_read for s in self.query_stats))
+
+    @property
+    def physical_bytes_read(self) -> int:
+        """Stored bytes actually fetched; smaller than :attr:`bytes_read` on
+        the compressed backend (quantized + compressed blocks), equal on
+        memory/mmap."""
+        return int(sum(s.physical_bytes_read for s in self.query_stats))
+
     def per_query_seconds(self) -> np.ndarray:
         return np.array([s.total_seconds for s in self.query_stats])
 
@@ -105,6 +117,8 @@ class ExperimentResult:
             "pruning": round(self.pruning_ratio, 4),
             "random_io": self.random_accesses,
             "sequential_pages": self.sequential_pages,
+            "mb_read": round(self.bytes_read / (1024 * 1024), 3),
+            "phys_mb_read": round(self.physical_bytes_read / (1024 * 1024), 3),
         }
 
 

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
 from ..core.distance import squared_euclidean_batch
 from ..core.queries import KnnQuery, RangeQuery
+from ..core.quantize import quantized_lower_bounds
 from ..core.series import SERIES_DTYPE
 from ..core.stats import AccessCounter, IndexStats, QueryStats
 from ..core.storage import SeriesStore
@@ -233,6 +234,7 @@ class SearchMethod(abc.ABC):
         stats.random_accesses += delta.random_accesses
         stats.sequential_pages += delta.sequential_pages
         stats.bytes_read += delta.bytes_read
+        stats.physical_bytes_read += delta.physical_bytes_read
         stats.measured_io_seconds += delta.measured_io_seconds
 
     def _package_result(self, answers: KnnAnswerSet, stats: QueryStats) -> SearchResult:
@@ -350,7 +352,14 @@ class SearchMethod(abc.ABC):
         are the precomputed candidate squared norms (computed on the fly when
         the method was built without them).  Accounting is amortized over the
         batch via :meth:`_amortized_batch_stats`.
+
+        On a store whose backend keeps a quantized representation (the
+        compressed backend) the pass automatically runs as a two-phase pruned
+        scan — quantized filter, full-precision refinement of surviving tiles
+        — with byte-identical answers (:meth:`_tiled_pruned_batch_scan`).
         """
+        if self.store.supports_quantized_scan:
+            return self._tiled_pruned_batch_scan(queries, k, tile, norms, dots_for)
         before = self.store.snapshot()
         start_time = time.perf_counter()
 
@@ -375,8 +384,88 @@ class SearchMethod(abc.ABC):
         delta = self.store.since(before)
         return answer_sets, self._amortized_batch_stats(len(answer_sets), elapsed, delta)
 
+    def _tile_survives_filter(
+        self, parts, queries: np.ndarray, thresholds: np.ndarray
+    ) -> bool:
+        """Whether a quantized tile may still hold an answer for any query.
+
+        ``parts`` is one tile's integer representation
+        (``[(codes, scale, shift), ...]``) and ``thresholds`` the per-query
+        pruning radii (current worst squared distances).  The tile is pruned
+        only when the *sound* quantized lower bound of every row strictly
+        exceeds every query's radius — a pruned row therefore cannot enter the
+        final answer set, not even through the positional tie-break, so
+        skipping its full-precision read changes nothing.  Any non-finite
+        threshold (an answer set not yet full) keeps the tile.
+        """
+        if not np.all(np.isfinite(thresholds)):
+            return True
+        remaining = np.full(thresholds.shape[0], np.inf)
+        for codes, scale, shift in parts:
+            bounds = quantized_lower_bounds(codes, scale, shift, queries)
+            np.minimum(remaining, bounds.min(axis=1), out=remaining)
+            if np.any(remaining <= thresholds):
+                return True
+        return bool(np.any(remaining <= thresholds))
+
+    def _tiled_pruned_batch_scan(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tile: int,
+        norms: np.ndarray | None,
+        dots_for,
+    ) -> tuple[list[KnnAnswerSet], list[QueryStats]]:
+        """Two-phase variant of :meth:`_tiled_batch_scan` (compressed backend).
+
+        Phase 1 streams the quantized representation
+        (:meth:`~repro.core.storage.SeriesStore.scan_quantized_chunks`) and
+        bounds every tile against the batch's tightening pruning radii; phase
+        2 fetches full precision only for surviving tiles — a skip-sequential
+        :meth:`~repro.core.storage.SeriesStore.read_contiguous` each, like
+        VA+file refinement — and runs the *identical* distance kernel at the
+        identical tile boundaries the plain pass uses, so the answers are
+        byte-identical while the physical bytes moved drop several-fold.
+        """
+        before = self.store.snapshot()
+        start_time = time.perf_counter()
+
+        q_norms = np.einsum("ij,ij->i", queries, queries)
+        answer_sets = [self._make_answer_set(k) for _ in range(queries.shape[0])]
+        examined = 0
+        for start, stop, parts in self.store.scan_quantized_chunks(chunk_rows=tile):
+            thresholds = np.array([a.worst_squared_distance for a in answer_sets])
+            if not self._tile_survives_filter(parts, queries, thresholds):
+                continue
+            raw = self.store.read_contiguous(start, stop)
+            examined += stop - start
+            block = raw.astype(np.float64)
+            tile_norms = self._tile_norms(norms, block, start, stop)
+            distances = (
+                q_norms[:, np.newaxis] + tile_norms[np.newaxis, :] - 2.0 * dots_for(block)
+            )
+            np.clip(distances, 0.0, None, out=distances)
+            positions = np.arange(start, stop)
+            for answers, row in zip(answer_sets, distances):
+                answers.offer_batch(positions, row)
+
+        elapsed = time.perf_counter() - start_time
+        delta = self.store.since(before)
+        return answer_sets, self._amortized_batch_stats(
+            len(answer_sets),
+            elapsed,
+            delta,
+            examined=examined,
+            lower_bounds=self.store.count,
+        )
+
     def _amortized_batch_stats(
-        self, count: int, elapsed: float, delta
+        self,
+        count: int,
+        elapsed: float,
+        delta,
+        examined: int | None = None,
+        lower_bounds: int = 0,
     ) -> list[QueryStats]:
         """Per-query stats for answers produced by one shared batch pass.
 
@@ -384,7 +473,9 @@ class SearchMethod(abc.ABC):
         amortized evenly over the batch (integer counters distribute their
         remainder to the first queries so batch totals are preserved) — this
         is the accounting story of batched execution: ``Q`` queries share a
-        single pass over the data.
+        single pass over the data.  ``examined`` overrides the series-examined
+        count per query (the pruned scans refine only survivors) and
+        ``lower_bounds`` records the filter bounds each query evaluated.
         """
         stats_list = []
         for i in range(count):
@@ -394,10 +485,12 @@ class SearchMethod(abc.ABC):
 
             stats = QueryStats(dataset_size=self.store.count)
             stats.cpu_seconds = elapsed / count
-            stats.series_examined = self.store.count
+            stats.series_examined = self.store.count if examined is None else examined
+            stats.lower_bounds_computed = lower_bounds
             stats.random_accesses = share(delta.random_accesses)
             stats.sequential_pages = share(delta.sequential_pages)
             stats.bytes_read = share(delta.bytes_read)
+            stats.physical_bytes_read = share(delta.physical_bytes_read)
             stats.measured_io_seconds = delta.measured_io_seconds / count
             stats_list.append(stats)
         return stats_list
@@ -418,6 +511,7 @@ class SearchMethod(abc.ABC):
         stats.random_accesses += delta.random_accesses
         stats.sequential_pages += delta.sequential_pages
         stats.bytes_read += delta.bytes_read
+        stats.physical_bytes_read += delta.physical_bytes_read
         neighbors = answers.neighbors()
         if neighbors:
             stats.answer_distance = neighbors[0].distance
@@ -444,6 +538,7 @@ class SearchMethod(abc.ABC):
         stats.random_accesses += delta.random_accesses
         stats.sequential_pages += delta.sequential_pages
         stats.bytes_read += delta.bytes_read
+        stats.physical_bytes_read += delta.physical_bytes_read
         return RangeSearchResult(answers, stats)
 
     @abc.abstractmethod

@@ -51,12 +51,43 @@ class FlatScan(SearchMethod):
         self._norms = self._streamed_norms(chunk_rows=self.tile_series)
 
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
+        if self.store.supports_quantized_scan:
+            return self._knn_exact_pruned(query, k, stats)
         answers = self._make_answer_set(k)
         stats.series_examined += self.store.count
         q = np.asarray(query, dtype=np.float64)
         q_norm = float(np.dot(q, q))
         for start, raw in self.store.scan_chunks(chunk_rows=self.tile_series):
             stop = start + raw.shape[0]
+            block = raw.astype(np.float64)
+            norms = self._tile_norms(self._norms, block, start, stop)
+            distances = norms + q_norm - 2.0 * (block @ q)
+            np.clip(distances, 0.0, None, out=distances)
+            answers.offer_batch(np.arange(start, stop), distances)
+        return answers
+
+    def _knn_exact_pruned(
+        self, query: np.ndarray, k: int, stats: QueryStats
+    ) -> KnnAnswerSet:
+        """Two-phase scan on the compressed backend: filter quantized tiles
+        against the tightening best-so-far radius, fetch full precision only
+        for survivors.  Surviving tiles run the identical kernel at identical
+        tile boundaries as the plain scan, and the quantized bound is sound,
+        so the answers are byte-identical while the physical bytes read drop
+        several-fold."""
+        answers = self._make_answer_set(k)
+        q = np.asarray(query, dtype=np.float64)
+        q_norm = float(np.dot(q, q))
+        q2 = q[np.newaxis, :]
+        for start, stop, parts in self.store.scan_quantized_chunks(
+            chunk_rows=self.tile_series
+        ):
+            stats.lower_bounds_computed += stop - start
+            threshold = np.array([answers.worst_squared_distance])
+            if not self._tile_survives_filter(parts, q2, threshold):
+                continue
+            raw = self.store.read_contiguous(start, stop)
+            stats.series_examined += stop - start
             block = raw.astype(np.float64)
             norms = self._tile_norms(self._norms, block, start, stop)
             distances = norms + q_norm - 2.0 * (block @ q)

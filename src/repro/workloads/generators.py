@@ -73,23 +73,44 @@ def random_walk_to_file(
     chunk_size: int = 65536,
     name: str | None = None,
     normalize: bool = True,
+    compress: str | None = None,
 ) -> Dataset:
     """Synthesize a random-walk dataset straight to ``path``, chunk by chunk.
 
     Only ``chunk_size`` series are ever held in memory, so the written
     collection can be far larger than RAM; the returned :class:`Dataset` is
-    the file reopened memory-mapped (:meth:`Dataset.from_file`), ready to
-    serve out-of-core.  Generator draws consume the seeded bit stream
-    sequentially, so for a given ``seed`` the file contents are *identical*
-    to ``random_walk(count, length, seed=seed)`` for every ``chunk_size``.
+    the file reopened lazily (:meth:`Dataset.from_file`), ready to serve
+    out-of-core.  Generator draws consume the seeded bit stream sequentially,
+    so for a given ``seed`` the file contents are *identical* to
+    ``random_walk(count, length, seed=seed)`` for every ``chunk_size``.
+
+    ``compress`` (``"int8"``/``"int16"``) writes the compressed quantized
+    ``.rcz`` format instead — required (and implied, defaulting to int8) when
+    ``path`` has the ``.rcz`` suffix.  Quantization is lossy relative to the
+    generated floats; the reopened dataset serves the stored (dequantized)
+    values.
     """
+    from ..core.quantize import RCZ_SUFFIX, CompressedFileWriter
+
     if count <= 0 or length <= 0:
         raise ValueError("count and length must be positive")
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
-    rng = np.random.default_rng(seed)
     path = Path(path)
-    with SeriesFileWriter(path, length=length) as writer:
+    is_rcz = path.suffix.lower() == RCZ_SUFFIX
+    if compress is None and is_rcz:
+        compress = "int8"
+    if compress is not None and not is_rcz:
+        raise ValueError(
+            f"compress={compress!r} writes the .rcz format; give the output the "
+            f"{RCZ_SUFFIX} suffix so readers recognize it"
+        )
+    rng = np.random.default_rng(seed)
+    if compress is not None:
+        writer = CompressedFileWriter(path, length=length, qdtype=compress)
+    else:
+        writer = SeriesFileWriter(path, length=length)
+    with writer:
         remaining = count
         while remaining > 0:
             rows = min(chunk_size, remaining)

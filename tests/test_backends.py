@@ -21,7 +21,12 @@ from repro import (
     save_method,
     write_series_file,
 )
-from repro.core.backends import MemoryBackend, MmapBackend, resolve_backend
+from repro.core.backends import (
+    CompressedBackend,
+    MemoryBackend,
+    MmapBackend,
+    resolve_backend,
+)
 from repro.core.persistence import dataset_fingerprint
 from repro.core.queries import KnnQuery, RangeQuery
 from repro.evaluation.hardware import measure_platform
@@ -55,6 +60,29 @@ def mmap_dataset(memory_dataset, tmp_path_factory) -> Dataset:
     dataset = memory_dataset.to_mmap(path)
     assert dataset.backend is not None and dataset.backend.kind == "mmap"
     return dataset
+
+
+@pytest.fixture(scope="module")
+def compressed_dataset(memory_dataset, tmp_path_factory) -> Dataset:
+    """The module dataset quantized to int16 .rcz (block smaller than count
+    so multi-block reads, partial tail blocks, and slicing are exercised)."""
+    path = tmp_path_factory.mktemp("backends-rcz") / "backend-eq.rcz"
+    dataset = memory_dataset.to_compressed(path, qdtype="int16", block_rows=64)
+    assert dataset.backend is not None and dataset.backend.kind == "compressed"
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def dequantized_dataset(compressed_dataset) -> Dataset:
+    """The compressed collection's canonical float32 values, held in RAM.
+
+    Quantization is lossy relative to the *original* floats, so "byte-identical
+    to the memory backend" means: against a memory backend serving the same
+    dequantized values the compressed backend stores.
+    """
+    return Dataset(
+        values=np.array(compressed_dataset.values), name="backend-eq-dequantized"
+    )
 
 
 @pytest.fixture(scope="module")
@@ -340,6 +368,178 @@ class TestBackendEquivalence:
         b = in_ram.search(q, k=3)
         assert a.positions() == b.positions()
         assert a.distances() == b.distances()
+
+
+class TestCompressedEquivalence:
+    """Every method answers byte-identically on the compressed backend.
+
+    The reference is a memory backend over the *dequantized* values (see the
+    ``dequantized_dataset`` fixture): distances and positions must match
+    exactly — including for flat/mass, whose compressed path runs the
+    two-phase pruned scan instead of the plain pass.  Access counters are not
+    compared: the pruned scan is a different algorithm with different
+    (smaller) I/O by design.
+    """
+
+    @pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
+    def test_knn_answers_match_memory(
+        self, method_name, dequantized_dataset, compressed_dataset, queries
+    ):
+        mem = create_method(
+            method_name, SeriesStore(dequantized_dataset), **METHOD_PARAMS[method_name]
+        )
+        comp = create_method(
+            method_name, SeriesStore(compressed_dataset), **METHOD_PARAMS[method_name]
+        )
+        mem.build()
+        comp.build()
+        for q in queries:
+            a = mem.knn_exact(KnnQuery(series=q, k=5))
+            b = comp.knn_exact(KnnQuery(series=q, k=5))
+            assert a.positions() == b.positions()
+            assert a.distances() == b.distances()  # byte-identical
+
+    @pytest.mark.parametrize("method_name", sorted(METHOD_PARAMS))
+    def test_sharded_answers_match_memory(
+        self, method_name, dequantized_dataset, compressed_dataset, queries
+    ):
+        params = dict(METHOD_PARAMS[method_name], shards=3, workers=1)
+        mem = create_method(
+            f"sharded:{method_name}", SeriesStore(dequantized_dataset), **params
+        )
+        comp = create_method(
+            f"sharded:{method_name}", SeriesStore(compressed_dataset), **params
+        )
+        mem.build()
+        comp.build()
+        for q in queries[:2]:
+            a = mem.knn_exact(KnnQuery(series=q, k=5))
+            b = comp.knn_exact(KnnQuery(series=q, k=5))
+            assert a.positions() == b.positions()
+            assert a.distances() == b.distances()
+
+    @pytest.mark.parametrize("method_name", ["flat", "mass", "isax2+"])
+    def test_batch_answers_match_memory(
+        self, method_name, dequantized_dataset, compressed_dataset, queries
+    ):
+        mem = create_method(
+            method_name, SeriesStore(dequantized_dataset), **METHOD_PARAMS[method_name]
+        )
+        comp = create_method(
+            method_name, SeriesStore(compressed_dataset), **METHOD_PARAMS[method_name]
+        )
+        mem.build()
+        comp.build()
+        stacked = np.vstack(queries)
+        for a, b in zip(
+            mem.knn_exact_batch(stacked, k=4), comp.knn_exact_batch(stacked, k=4)
+        ):
+            assert a.positions() == b.positions()
+            assert a.distances() == b.distances()
+
+    @pytest.mark.parametrize("method_name", ["flat", "va+file"])
+    def test_range_answers_match_memory(
+        self, method_name, dequantized_dataset, compressed_dataset, queries
+    ):
+        mem = create_method(
+            method_name, SeriesStore(dequantized_dataset), **METHOD_PARAMS[method_name]
+        )
+        comp = create_method(
+            method_name, SeriesStore(compressed_dataset), **METHOD_PARAMS[method_name]
+        )
+        mem.build()
+        comp.build()
+        query = RangeQuery(series=queries[0], radius=4.0)
+        a, b = mem.range_exact(query), comp.range_exact(query)
+        assert a.positions() == b.positions()
+        assert a.distances() == b.distances()
+
+    def test_int8_is_lossy_vs_original_but_exact_over_stored(
+        self, memory_dataset, tmp_path, queries
+    ):
+        """int8 quantization visibly perturbs the values (documented lossiness)
+        yet answers over the *stored* collection stay exact."""
+        path = tmp_path / "int8.rcz"
+        compressed = memory_dataset.to_compressed(path, qdtype="int8", block_rows=64)
+        stored = np.asarray(compressed.values)
+        error = np.max(np.abs(stored - memory_dataset.values))
+        assert 1e-4 < error < 0.1  # lossy, but bounded by the int8 step
+        reference = Dataset(values=np.array(stored), name="int8-dequantized")
+        mem = create_method("flat", SeriesStore(reference))
+        comp = create_method("flat", SeriesStore(compressed))
+        mem.build()
+        comp.build()
+        for q in queries:
+            a = mem.knn_exact(KnnQuery(series=q, k=5))
+            b = comp.knn_exact(KnnQuery(series=q, k=5))
+            assert a.positions() == b.positions()
+            assert a.distances() == b.distances()
+
+    def test_resolve_backend_compressed(self, compressed_dataset, memory_dataset):
+        assert resolve_backend(compressed_dataset).kind == "compressed"
+        assert resolve_backend(compressed_dataset, "compressed").kind == "compressed"
+        assert resolve_backend(compressed_dataset, "memory").kind == "memory"
+        with pytest.raises(ValueError, match="to_compressed"):
+            resolve_backend(memory_dataset, "compressed")
+
+    def test_engine_serves_compressed(self, compressed_dataset, dequantized_dataset):
+        engine = SimilaritySearchEngine(compressed_dataset)
+        assert engine.store.backend.kind == "compressed"
+        engine.build("flat")
+        reference = SimilaritySearchEngine(dequantized_dataset)
+        reference.build("flat")
+        q = dequantized_dataset.values[7]
+        a, b = engine.search(q, k=3), reference.search(q, k=3)
+        assert a.positions() == b.positions()
+        assert a.distances() == b.distances()
+
+
+class TestCompressedPersistence:
+    """Index round-trips over .rcz-backed stores (dataset-less reload)."""
+
+    def test_roundtrip_reattaches_compressed_store(
+        self, tmp_path, compressed_dataset, queries
+    ):
+        method = create_method(
+            "isax2+", SeriesStore(compressed_dataset), leaf_capacity=25
+        )
+        method.build()
+        path = tmp_path / "isax-rcz.idx"
+        envelope = save_method(method, path)
+        assert envelope.storage["kind"] == "compressed"
+        assert envelope.storage["source_path"].endswith(".rcz")
+
+        loaded = load_method(path)  # no dataset: the .rcz path reopens
+        assert loaded.store.backend.kind == "compressed"
+        assert loaded.store.supports_quantized_scan
+        q = KnnQuery(series=queries[0], k=3)
+        a, b = method.knn_exact(q), loaded.knn_exact(q)
+        assert a.positions() == b.positions()
+        assert a.distances() == b.distances()
+
+    def test_sliced_compressed_roundtrip_reopens_the_row_range(
+        self, tmp_path, compressed_dataset, queries
+    ):
+        sub = SeriesStore(compressed_dataset).slice(0, 120)
+        method = create_method("flat", sub)
+        method.build()
+        path = tmp_path / "sliced-rcz.idx"
+        envelope = save_method(method, path)
+        assert (envelope.storage["start"], envelope.storage["stop"]) == (0, 120)
+        loaded = load_method(path)
+        assert loaded.store.count == 120
+        assert loaded.store.backend.kind == "compressed"
+        q = KnnQuery(series=queries[0], k=3)
+        a, b = method.knn_exact(q), loaded.knn_exact(q)
+        assert a.positions() == b.positions()
+        assert a.distances() == b.distances()
+
+    def test_fingerprint_identical_compressed_vs_dequantized(
+        self, compressed_dataset, dequantized_dataset
+    ):
+        assert dataset_fingerprint(compressed_dataset) == dataset_fingerprint(
+            dequantized_dataset
+        )
 
 
 class TestPersistenceWithBackends:

@@ -209,6 +209,44 @@ class TestBuilderStreams:
         store = SeriesStore(dataset)
         assert list(store.peek_chunks(np.array([], dtype=np.int64))) == []
 
+    def test_peek_chunks_duplicate_positions(self, dataset):
+        """The same position may appear twice (degenerate split nodes): each
+        occurrence must come back as its own row, once, in order — the span
+        cap must neither drop nor double the duplicated rows."""
+        store = SeriesStore(dataset)
+        positions = np.array([5, 5, 6, 30, 30, 30], dtype=np.int64)
+        chunks = list(store.peek_chunks(positions, chunk_rows=2))
+        assembled = np.vstack([block for _, block in chunks])
+        assert assembled.shape[0] == positions.size
+        np.testing.assert_array_equal(
+            assembled, dataset.values[positions].astype(np.float64)
+        )
+        # the yielded slices tile [0, len(positions)) exactly: no overlap, no gap
+        covered = [i for rows, _ in chunks for i in range(rows.start, rows.stop)]
+        assert covered == list(range(positions.size))
+        assert store.counter.bytes_read == 0  # peek stays unaccounted
+
+    def test_peek_chunks_positions_straddling_chunk_boundary(self, tmp_path, dataset):
+        """Adjacent sorted positions that fall on either side of a chunk cut
+        must each be read exactly once, and the release lookback must not make
+        the straddled rows unreadable afterwards (mmap drops pages)."""
+        path = tmp_path / "walks.npy"
+        dataset.to_file(path)
+        store = SeriesStore(Dataset.from_file(path), backend="mmap")
+        # chunk_rows=3 puts the cut between 30 and 31 (adjacent rows)
+        positions = np.array([28, 29, 30, 31, 32, 33], dtype=np.int64)
+        chunks = list(store.peek_chunks(positions, chunk_rows=3))
+        assert len(chunks) == 2
+        assembled = np.vstack([block for _, block in chunks])
+        np.testing.assert_array_equal(
+            assembled, dataset.values[positions].astype(np.float64)
+        )
+        covered = [i for rows, _ in chunks for i in range(rows.start, rows.stop)]
+        assert covered == list(range(positions.size))
+        # the released rows are still servable on the next pass
+        again = np.vstack([b for _, b in store.peek_chunks(positions, chunk_rows=3)])
+        np.testing.assert_array_equal(again, assembled)
+
     def test_scan_blocks_matches_scan_chunks_on_mmap(self, tmp_path, dataset):
         path = tmp_path / "walks.npy"
         dataset.to_file(path)
