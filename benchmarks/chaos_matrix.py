@@ -1,0 +1,219 @@
+"""Chaos matrix: failure scenarios x methods, reported as a JSON artifact.
+
+Runs a grid of deterministic fault scenarios against a panel of methods and
+records, per cell, what the resilience layer did: retries spent, answers
+byte-identical to the fault-free baseline, corruption caught as a typed
+error, degraded answers under ``allow_partial``.  CI runs this with two fixed
+fault-plan seeds and uploads the matrix (``BENCH_chaos_matrix.json``) so a
+regression in any scenario is visible as a diff in the artifact, not a
+silently wrong answer.
+
+Scenario kinds:
+
+* ``transient`` — injected I/O errors + short reads; PASS means every answer
+  matched the clean baseline exactly (retries are free to be nonzero).
+* ``corrupt`` — damage-at-rest bit flips on a checksummed (sidecar) mmap
+  store; PASS means every query raised :class:`CorruptionError`.
+* ``shard-loss`` — a permanently failing shard under ``allow_partial``; PASS
+  means every answer came back flagged degraded with the failed shard
+  counted.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/chaos_matrix.py --seeds 7,23
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Dataset, SeriesStore  # noqa: E402
+from repro.core.faults import FaultPlan, RetryPolicy  # noqa: E402
+from repro.core.integrity import CorruptionError, invalidate_manifest_cache  # noqa: E402
+from repro.core.queries import KnnQuery  # noqa: E402
+from repro.core.registry import create_method  # noqa: E402
+from repro.workloads.generators import random_walk_dataset  # noqa: E402
+
+#: the method panel: one scan, two trees, one summarization file, the wrapper.
+METHODS = {
+    "flat": {},
+    "dstree": {"leaf_capacity": 50},
+    "isax2+": {"leaf_capacity": 50},
+    "va+file": {},
+    "sharded:flat": {"shards": 3, "workers": 2},
+}
+
+#: retry budget sized for doubled-up fault kinds (transient + truncate on one
+#: site can fail 2 * max_failures consecutive attempts).
+RETRY = RetryPolicy(attempts=8, base_delay=1e-5, max_delay=1e-4)
+
+
+def _queries(length: int, count: int = 4):
+    rng = np.random.default_rng(71)
+    return [
+        KnnQuery(series=np.cumsum(rng.standard_normal(length)), k=3)
+        for _ in range(count)
+    ]
+
+
+def _build(name: str, store: SeriesStore, **extra):
+    params = dict(METHODS[name])
+    params.update(extra)
+    method = create_method(name, store, **params)
+    method.build()
+    return method
+
+
+def _answers(method, queries):
+    out = []
+    for query in queries:
+        result = method.knn_exact(query)
+        out.append(
+            [(int(n.position), float(n.distance)) for n in result.neighbors]
+        )
+    return out
+
+
+def _transient_cell(name, dataset, queries, baseline, seed):
+    plan = FaultPlan(seed=seed, transient=0.2, truncate=0.1)
+    store = SeriesStore(dataset, faults=plan, retry=RETRY)
+    method = _build(name, store)
+    answers = _answers(method, queries)
+    return {
+        "scenario": "transient",
+        "plan": plan.describe(),
+        "identical": answers == baseline,
+        "retries": int(store.counter.retries),
+        "ok": answers == baseline,
+    }
+
+
+def _corrupt_cell(name, dataset_file, queries, seed):
+    invalidate_manifest_cache()
+    plan = FaultPlan(seed=seed, corrupt=1.0, region_rows=64)
+    store = SeriesStore(
+        Dataset.from_file(dataset_file), faults=plan, retry=RETRY
+    )
+    caught = 0
+    wrong = 0
+    try:
+        method = _build(name, store)
+        for query in queries:
+            try:
+                method.knn_exact(query)
+                wrong += 1
+            except CorruptionError:
+                caught += 1
+    except CorruptionError:
+        # Corruption surfaced during the build scan: every query is "caught"
+        # by construction, since the method refuses to come up over bad data.
+        caught = len(queries)
+    return {
+        "scenario": "corrupt",
+        "plan": plan.describe(),
+        "caught": caught,
+        "silently_wrong": wrong,
+        "ok": wrong == 0 and caught == len(queries),
+    }
+
+
+def _shard_loss_cell(dataset, queries, baseline):
+    store = SeriesStore(dataset)
+    method = _build("sharded:flat", store, allow_partial=True)
+
+    def dying(query, k, stats):
+        raise RuntimeError("chaos-matrix killed worker")
+
+    method._shards[0].method._knn_exact = dying
+    degraded = 0
+    for query in queries:
+        result = method.knn_exact(query)
+        if result.stats.degraded and result.stats.shards_failed == 1:
+            degraded += 1
+    method.close()
+    return {
+        "scenario": "shard-loss",
+        "degraded": degraded,
+        "ok": degraded == len(queries),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", default="7,23", help="comma-separated fault-plan seeds"
+    )
+    parser.add_argument("--count", type=int, default=400, help="dataset rows")
+    parser.add_argument("--length", type=int, default=32, help="series length")
+    parser.add_argument(
+        "--json", default="BENCH_chaos_matrix.json", help="output artifact path"
+    )
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+
+    dataset = random_walk_dataset(args.count, args.length, seed=5, name="chaos-matrix")
+    queries = _queries(args.length)
+    started = time.time()
+    rows = []
+    failures = 0
+
+    with tempfile.TemporaryDirectory(prefix="chaos-matrix-") as tmp:
+        mmap_file = Path(tmp) / "matrix.npy"
+        dataset.to_mmap(mmap_file)  # writes the .crc sidecar too
+
+        for name in METHODS:
+            baseline = _answers(_build(name, SeriesStore(dataset)), queries)
+            for seed in seeds:
+                cell = _transient_cell(name, dataset, queries, baseline, seed)
+                cell.update(method=name, seed=seed)
+                rows.append(cell)
+                failures += 0 if cell["ok"] else 1
+
+        for seed in seeds:
+            cell = _corrupt_cell("flat", mmap_file, queries, seed)
+            cell.update(method="flat", seed=seed)
+            rows.append(cell)
+            failures += 0 if cell["ok"] else 1
+
+        cell = _shard_loss_cell(dataset, queries, None)
+        cell.update(method="sharded:flat", seed=None)
+        rows.append(cell)
+        failures += 0 if cell["ok"] else 1
+
+    report = {
+        "benchmark": "chaos_matrix",
+        "seeds": seeds,
+        "dataset": {"count": args.count, "length": args.length},
+        "elapsed_s": round(time.time() - started, 2),
+        "cells": rows,
+        "failures": failures,
+    }
+    Path(args.json).write_text(json.dumps(report, indent=2))
+
+    for row in rows:
+        status = "PASS" if row["ok"] else "FAIL"
+        extra = {
+            k: v
+            for k, v in row.items()
+            if k not in ("ok", "scenario", "method", "seed", "plan")
+        }
+        print(f"[{status}] {row['scenario']:>10} {row['method']:>14} "
+              f"seed={row['seed']} {extra}")
+    print(f"wrote {args.json} ({len(rows)} cells, {failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="partitions for a 'sharded:*' method (default: the worker count)",
     )
+    run.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="sharded methods only: drop shards that fail permanently and "
+        "return a degraded answer (flagged in the result row) instead of "
+        "failing the query",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sharded methods only: per-query time budget; shard tasks not "
+        "finished in time are dropped (requires --allow-partial)",
+    )
 
     compare = sub.add_parser("compare", help="compare several methods on one dataset")
     _add_dataset_arguments(compare)
@@ -171,6 +186,15 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         "quantized .rcz blocks with pruned two-phase scans (a generated or "
         "raw-file dataset is first spilled/converted to a temporary file)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject storage faults for chaos runs, e.g. "
+        "'seed=7,transient=0.1,latency=0.05'; retried reads and degraded "
+        "queries show up in the result columns (same spec format as the "
+        "REPRO_FAULT_PLAN environment variable)",
+    )
 
 
 def _make_dataset(args: argparse.Namespace, stack: ExitStack):
@@ -235,6 +259,8 @@ def _method_params(
     leaf_size: int | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    allow_partial: bool = False,
+    deadline: float | None = None,
 ) -> dict:
     base = _base_method_name(name)
     params = dict(_DEFAULT_PARAMS.get(base, {}))
@@ -245,11 +271,15 @@ def _method_params(
         params["workers"] = workers if workers is not None else 1
         if shards is not None:
             params["shards"] = shards
+        if allow_partial:
+            params["allow_partial"] = True
+        if deadline is not None:
+            params["deadline_seconds"] = deadline
     return params
 
 
 def _result_row(result) -> dict:
-    return {
+    row = {
         "method": result.method,
         "build_s": round(result.build_seconds, 3),
         "query_s": round(result.query_seconds, 3),
@@ -257,6 +287,13 @@ def _result_row(result) -> dict:
         "random_io": result.random_accesses,
         "sequential_pages": result.sequential_pages,
     }
+    # Resilience columns appear only when something actually happened, so
+    # healthy runs keep the familiar compact table.
+    if result.retries:
+        row["retries"] = result.retries
+    if result.degraded_queries:
+        row["degraded"] = result.degraded_queries
+    return row
 
 
 def _command_methods(_: argparse.Namespace, out) -> int:
@@ -278,12 +315,21 @@ def _command_run(args: argparse.Namespace, out) -> int:
     if not _known_method(args.method):
         print(f"unknown method {args.method!r}; run 'repro methods'", file=out)
         return 2
-    if args.shards is not None and not args.method.startswith("sharded:"):
-        print(
-            f"--shards only applies to sharded methods; did you mean "
-            f"--method sharded:{args.method}?",
-            file=out,
-        )
+    if not args.method.startswith("sharded:"):
+        for flag, value in (
+            ("--shards", args.shards),
+            ("--allow-partial", args.allow_partial or None),
+            ("--deadline", args.deadline),
+        ):
+            if value is not None:
+                print(
+                    f"{flag} only applies to sharded methods; did you mean "
+                    f"--method sharded:{args.method}?",
+                    file=out,
+                )
+                return 2
+    if args.deadline is not None and not args.allow_partial:
+        print("--deadline requires --allow-partial", file=out)
         return 2
     with ExitStack() as stack:
         dataset = _make_dataset(args, stack)
@@ -294,10 +340,16 @@ def _command_run(args: argparse.Namespace, out) -> int:
             args.method,
             platform=PLATFORMS[args.platform],
             method_params=_method_params(
-                args.method, args.leaf_size, workers=args.workers, shards=args.shards
+                args.method,
+                args.leaf_size,
+                workers=args.workers,
+                shards=args.shards,
+                allow_partial=args.allow_partial,
+                deadline=args.deadline,
             ),
             workers=args.workers,
             backend=args.backend,
+            faults=args.fault_plan,
         )
     title = f"{args.method} on {dataset.name}"
     if args.backend:
@@ -326,6 +378,7 @@ def _command_compare(args: argparse.Namespace, out) -> int:
                 method_params=_method_params(name, workers=args.workers),
                 workers=args.workers,
                 backend=args.backend,
+                faults=args.fault_plan,
             )
             results[name] = result
             rows.append(_result_row(result))

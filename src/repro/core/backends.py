@@ -119,6 +119,26 @@ class StorageBackend(abc.ABC):
         """Path of the backing file (``None`` for in-memory backends)."""
         return None
 
+    @property
+    def row_offset(self) -> int:
+        """Absolute file row this view starts at (0 for unsliced backends).
+
+        Integrity manifests digest *file* blocks; a sliced shard backend maps
+        its view rows to file rows through this offset when verifying.
+        """
+        return 0
+
+    def checksums(self):
+        """The backend's block-checksum manifest, if its file has one.
+
+        Returns a shared :class:`~repro.core.integrity.ChecksumManifest`
+        (cached process-wide, so forks and slices share one verified-set) or
+        ``None`` when no sidecar exists.  In-memory backends have no stored
+        bytes to verify and always return ``None``; the compressed backend
+        verifies payload digests internally and returns ``None`` too.
+        """
+        return None
+
     # -- physical geometry ----------------------------------------------------
     #: whether the backend stores a quantized representation that the pruned
     #: two-phase scans can filter on (see :meth:`CompressedBackend.quantized_parts`).
@@ -328,6 +348,27 @@ class MmapBackend(StorageBackend):
     def source_path(self) -> str | None:
         return self._path
 
+    @property
+    def row_offset(self) -> int:
+        return self._start
+
+    def checksums(self):
+        from .integrity import CorruptionError, manifest_for
+
+        manifest = manifest_for(self._path)
+        if manifest is None:
+            return None
+        root = self._open()
+        if manifest.count != int(root.shape[0]) or manifest.length != self._length:
+            raise CorruptionError(
+                f"{self._path}: checksum manifest geometry "
+                f"({manifest.count} x {manifest.length}) does not match the "
+                f"file ({int(root.shape[0])} x {self._length}); the file "
+                "changed after its sidecar was written",
+                path=self._path,
+            )
+        return manifest
+
     def describe(self) -> dict:
         info = super().describe()
         info.update(format="raw-f32" if self.is_raw else "npy", start=self._start, stop=self._stop)
@@ -469,6 +510,10 @@ class CompressedBackend(StorageBackend):
         return self._path
 
     @property
+    def row_offset(self) -> int:
+        return self._start
+
+    @property
     def count(self) -> int:
         self._open()
         return self._stop - self._start
@@ -500,6 +545,24 @@ class CompressedBackend(StorageBackend):
         entry = info.table[index]
         self._handle.seek(int(entry["offset"]))
         payload = self._handle.read(int(entry["nbytes"]))
+        if info.has_checksums:
+            # Verify the stored payload before decoding: every read path —
+            # dequantized rows and the quantized filtering representation
+            # alike — goes through this decode, so a flipped bit in any block
+            # surfaces as a typed error, never as wrong values.
+            from .integrity import CorruptionError, checksum
+
+            expected = int(entry["crc"])
+            actual = checksum(payload)
+            if actual != expected:
+                raise CorruptionError(
+                    f"{self._path}: checksum mismatch in block {index} "
+                    f"(expected {expected:#010x}, got {actual:#010x})",
+                    path=self._path,
+                    block=index,
+                    expected=expected,
+                    actual=actual,
+                )
         codes = decode_payload(
             payload, info.codec, info.qdtype, int(entry["rows"]), info.length
         )

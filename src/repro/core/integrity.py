@@ -1,0 +1,361 @@
+"""End-to-end data integrity: per-block checksums for every storage format.
+
+The system now reads real bytes from real files (mmap ``.npy``/raw float32
+and compressed ``.rcz``), so a flipped bit on disk — or anywhere on the read
+path — must surface as a typed error, never as a silently wrong answer.  This
+module provides the pieces shared by every format:
+
+* :func:`checksum` — the CRC-32 digest used everywhere (``zlib.crc32``; the
+  stdlib polynomial, playing the CRC32C role without an extra dependency);
+* :class:`CorruptionError` — the typed failure carrying file, block, and the
+  expected/actual digests;
+* the ``.crc`` sidecar manifest for raw/``.npy`` files: a per-block digest
+  table written streamed by :class:`~repro.core.series.SeriesFileWriter`
+  (:class:`ChecksumAccumulator`) and loaded through a process-wide cache
+  (:func:`manifest_for`) so forked/sliced shard stores share one verified-set;
+* verifiers used by :class:`~repro.core.storage.SeriesStore`:
+  :class:`SequentialVerifier` accumulates digests *during* a streaming scan
+  (no second read of the data), and :func:`verify_row_range` /
+  :func:`verify_positions` check the blocks covering a random access by
+  reading each unverified block once through the store's backend.
+
+Blocks are fixed at ``block_rows`` rows of the file (not of a sliced view),
+and each digest covers the block's little-endian float32 bytes.  Every block
+is verified at most once per process: manifests keep a shared ``verified``
+set, so steady-state verification cost on hot paths is one CRC pass over data
+the scan already touched.
+
+A block that a sliced view cannot cover in full (it straddles the slice
+boundary) is *not* verifiable from that view and is skipped; the parent
+store — or any shard whose range covers it — verifies it instead.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CRC_SUFFIX",
+    "DEFAULT_CRC_BLOCK_ROWS",
+    "CorruptionError",
+    "checksum",
+    "ChecksumManifest",
+    "ChecksumAccumulator",
+    "write_manifest",
+    "load_manifest",
+    "manifest_for",
+    "invalidate_manifest_cache",
+    "SequentialVerifier",
+    "verify_row_range",
+    "verify_positions",
+]
+
+#: suffix appended to a dataset file's name for its checksum sidecar
+#: (``walks.npy`` → ``walks.npy.crc``).
+CRC_SUFFIX = ".crc"
+
+#: rows per checksummed block in sidecar manifests; matches the compressed
+#: format's default block granularity so verification units line up across
+#: backends.
+DEFAULT_CRC_BLOCK_ROWS = 1024
+
+_MAGIC = b"RCRC"
+_MANIFEST_VERSION = 1
+#: sidecar header: magic, version, pad, block_rows, row count, series length.
+_MANIFEST_HEADER = struct.Struct("<4sHHQQQ")
+assert _MANIFEST_HEADER.size == 32
+
+
+class CorruptionError(IOError):
+    """Stored data failed its integrity check.
+
+    Subclasses :class:`IOError` so callers guarding file reads still catch it,
+    but retry layers treat it as *permanent*: re-reading corrupt bytes cannot
+    help.  ``path``/``block`` locate the damage; ``expected``/``actual`` are
+    the CRC-32 digests (``None`` when the failure is structural, e.g. a
+    malformed manifest).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path=None,
+        block: int | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.block = block
+        self.expected = expected
+        self.actual = actual
+
+
+def checksum(buffer, value: int = 0) -> int:
+    """CRC-32 digest of ``buffer`` (bytes or a C-contiguous array)."""
+    return zlib.crc32(buffer, value) & 0xFFFFFFFF
+
+
+# -- sidecar manifest ----------------------------------------------------------
+
+
+class ChecksumManifest:
+    """Parsed ``.crc`` sidecar: per-block digests plus a shared verified-set.
+
+    ``verified`` holds block indexes already checked against the data this
+    process has read; it lives on the (cached) manifest object, so every
+    store, fork, and shard slice over the same file shares one set and each
+    block is CRC'd at most once per process.
+    """
+
+    __slots__ = ("data_path", "block_rows", "count", "length", "crcs", "verified")
+
+    def __init__(self, data_path, block_rows, count, length, crcs) -> None:
+        self.data_path = str(data_path)
+        self.block_rows = int(block_rows)
+        self.count = int(count)
+        self.length = int(length)
+        self.crcs = np.asarray(crcs, dtype=np.uint32)
+        self.verified: set[int] = set()
+
+    @property
+    def blocks(self) -> int:
+        return int(self.crcs.shape[0])
+
+    def block_span(self, block: int) -> tuple[int, int]:
+        """Absolute file-row range ``[start, stop)`` of ``block``."""
+        start = block * self.block_rows
+        return start, min(start + self.block_rows, self.count)
+
+    def check(self, block: int, digest: int) -> None:
+        """Record ``digest`` for ``block``; raise on mismatch."""
+        expected = int(self.crcs[block])
+        if digest != expected:
+            raise CorruptionError(
+                f"{self.data_path}: checksum mismatch in block {block} "
+                f"(expected {expected:#010x}, got {digest:#010x})",
+                path=self.data_path,
+                block=block,
+                expected=expected,
+                actual=digest,
+            )
+        self.verified.add(block)
+
+
+class ChecksumAccumulator:
+    """Streaming per-block CRC accumulation for a fixed-row block layout.
+
+    Fed contiguous row chunks of *any* size (the
+    :class:`~repro.core.series.SeriesFileWriter` contract), it produces the
+    same digests as checksumming the final file block by block — the sidecar
+    stays chunking-invariant, like the file bytes themselves.
+    """
+
+    def __init__(self, block_rows: int = DEFAULT_CRC_BLOCK_ROWS) -> None:
+        self.block_rows = int(block_rows)
+        self._crcs: list[int] = []
+        self._partial = 0
+        self._partial_rows = 0
+
+    def update(self, rows: np.ndarray) -> None:
+        """Fold one C-contiguous ``(m, length)`` float32 chunk into the stream."""
+        m = int(rows.shape[0])
+        i = 0
+        while i < m:
+            take = min(self.block_rows - self._partial_rows, m - i)
+            self._partial = checksum(rows[i : i + take], self._partial)
+            self._partial_rows += take
+            i += take
+            if self._partial_rows == self.block_rows:
+                self._crcs.append(self._partial)
+                self._partial = 0
+                self._partial_rows = 0
+
+    def digests(self) -> list[int]:
+        """Per-block digests, including the trailing partial block (if any)."""
+        out = list(self._crcs)
+        if self._partial_rows:
+            out.append(self._partial)
+        return out
+
+
+def write_manifest(data_path, *, block_rows: int, count: int, length: int, crcs) -> Path:
+    """Write the ``.crc`` sidecar for ``data_path`` atomically; returns its path."""
+    sidecar = Path(str(data_path) + CRC_SUFFIX)
+    table = np.asarray(crcs, dtype="<u4")
+    body = _MANIFEST_HEADER.pack(
+        _MAGIC, _MANIFEST_VERSION, 0, int(block_rows), int(count), int(length)
+    ) + table.tobytes()
+    body += struct.pack("<I", checksum(body))  # self-digest guards the sidecar
+    tmp = sidecar.with_name(sidecar.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(body)
+    os.replace(tmp, sidecar)
+    return sidecar
+
+
+def load_manifest(data_path) -> ChecksumManifest:
+    """Parse the ``.crc`` sidecar of ``data_path`` (raises if absent/malformed)."""
+    data_path = Path(data_path)
+    sidecar = Path(str(data_path) + CRC_SUFFIX)
+    raw = sidecar.read_bytes()
+    if len(raw) < _MANIFEST_HEADER.size + 4:
+        raise CorruptionError(f"{sidecar}: truncated checksum manifest", path=sidecar)
+    body, (self_crc,) = raw[:-4], struct.unpack("<I", raw[-4:])
+    if checksum(body) != self_crc:
+        raise CorruptionError(
+            f"{sidecar}: checksum manifest failed its own digest",
+            path=sidecar,
+            expected=self_crc,
+            actual=checksum(body),
+        )
+    magic, version, _, block_rows, count, length = _MANIFEST_HEADER.unpack(
+        body[: _MANIFEST_HEADER.size]
+    )
+    if magic != _MAGIC or version != _MANIFEST_VERSION:
+        raise CorruptionError(f"{sidecar}: not a checksum manifest", path=sidecar)
+    blocks = (count + block_rows - 1) // block_rows if count else 0
+    table = np.frombuffer(body[_MANIFEST_HEADER.size :], dtype="<u4")
+    if table.shape[0] != blocks:
+        raise CorruptionError(
+            f"{sidecar}: manifest has {table.shape[0]} digests, expected {blocks}",
+            path=sidecar,
+        )
+    return ChecksumManifest(data_path, block_rows, count, length, table)
+
+
+# Manifests are cached process-wide keyed by (realpath, mtime, size): forked
+# and sliced stores resolve to the *same* object, sharing its verified-set.
+_MANIFESTS: dict[tuple, ChecksumManifest] = {}
+_MANIFESTS_LOCK = threading.Lock()
+
+
+def manifest_for(data_path) -> ChecksumManifest | None:
+    """The cached sidecar manifest for ``data_path``, or ``None`` if absent."""
+    sidecar = Path(str(data_path) + CRC_SUFFIX)
+    try:
+        stat = sidecar.stat()
+    except OSError:
+        return None
+    real = os.path.realpath(sidecar)
+    key = (real, stat.st_mtime_ns, stat.st_size)
+    with _MANIFESTS_LOCK:
+        cached = _MANIFESTS.get(key)
+    if cached is not None:
+        return cached
+    manifest = load_manifest(data_path)
+    with _MANIFESTS_LOCK:
+        # Drop stale generations of the same sidecar (rewritten files).
+        for other in [k for k in _MANIFESTS if k[0] == real and k != key]:
+            del _MANIFESTS[other]
+        return _MANIFESTS.setdefault(key, manifest)
+
+
+def invalidate_manifest_cache() -> None:
+    """Forget every cached manifest (tests that rewrite files in place)."""
+    with _MANIFESTS_LOCK:
+        _MANIFESTS.clear()
+
+
+# -- verifiers -----------------------------------------------------------------
+
+
+class SequentialVerifier:
+    """Verify a streaming scan against a manifest as the chunks flow by.
+
+    Digests accumulate over the chunks the scan already produced — no second
+    read — and every block completed inside the stream is checked the moment
+    its last row passes.  Blocks entered mid-way (the stream started inside
+    them) cannot be digested from a partial prefix and are left to the random
+    verifiers.  Already-verified blocks are skipped without CRC work.
+    """
+
+    def __init__(self, manifest: ChecksumManifest, row_offset: int) -> None:
+        self._m = manifest
+        self._off = int(row_offset)
+        self._block = -1
+        self._crc = 0
+        self._rows = 0
+        self._next = None  # expected absolute row of the next feed
+
+    def feed(self, start: int, chunk: np.ndarray) -> None:
+        """Fold ``chunk`` (view rows starting at ``start``) into the stream."""
+        m = self._m
+        pos = self._off + int(start)
+        if pos != self._next:  # non-contiguous: drop any partial block
+            self._block = -1
+        rows = int(chunk.shape[0])
+        self._next = pos + rows
+        i = 0
+        while i < rows:
+            block = pos // m.block_rows
+            b_start, b_stop = m.block_span(block)
+            take = min(b_stop - pos, rows - i)
+            if block in m.verified:
+                self._block = -1
+            elif pos == b_start:
+                self._block, self._crc, self._rows = block, 0, 0
+            if self._block == block:
+                self._crc = checksum(chunk[i : i + take], self._crc)
+                self._rows += take
+                if pos + take == b_stop:
+                    m.check(block, self._crc)
+                    self._block = -1
+            pos += take
+            i += take
+
+
+def verify_row_range(
+    manifest: ChecksumManifest,
+    row_offset: int,
+    view_rows: int,
+    start: int,
+    stop: int,
+    reader,
+) -> None:
+    """Verify every manifest block covering view rows ``[start, stop)``.
+
+    ``reader(view_start, view_stop)`` reads rows *through the store's
+    backend* (so damage anywhere on the read path is seen), once per
+    unverified block.  Blocks extending past the view's own range cannot be
+    read in full from here and are skipped.
+    """
+    m = manifest
+    a0 = max(0, int(start)) + row_offset
+    a1 = min(int(stop), view_rows) + row_offset
+    if a1 <= a0:
+        return
+    for block in range(a0 // m.block_rows, (a1 - 1) // m.block_rows + 1):
+        _verify_block(m, block, row_offset, view_rows, reader)
+
+
+def verify_positions(
+    manifest: ChecksumManifest,
+    row_offset: int,
+    view_rows: int,
+    positions: np.ndarray,
+    reader,
+) -> None:
+    """Verify the manifest blocks containing each of ``positions`` (view rows)."""
+    m = manifest
+    absolute = np.asarray(positions, dtype=np.int64) + row_offset
+    for block in np.unique(absolute // m.block_rows):
+        _verify_block(m, int(block), row_offset, view_rows, reader)
+
+
+def _verify_block(m, block, row_offset, view_rows, reader) -> None:
+    if block in m.verified:
+        return
+    b_start, b_stop = m.block_span(block)
+    v_start, v_stop = b_start - row_offset, b_stop - row_offset
+    if v_start < 0 or v_stop > view_rows:
+        return  # straddles the slice boundary; not verifiable from this view
+    data = reader(v_start, v_stop)
+    m.check(block, checksum(np.ascontiguousarray(data)))

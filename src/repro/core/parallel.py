@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "resolve_workers",
     "chunk_slices",
     "parallel_map",
+    "TaskOutcome",
+    "parallel_map_outcomes",
     "SharedRadius",
     "parallel_batch_search",
 ]
@@ -119,6 +123,88 @@ def parallel_map(
         return list(pool.map(fn, work))
     with ThreadPoolExecutor(max_workers=min(int(workers), len(work))) as transient:
         return list(transient.map(fn, work))
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task of a fault-tolerant fan-out.
+
+    Exactly one of three states: ``value`` holds the task's return value on
+    success, ``error`` the exception it raised, and ``timed_out`` marks tasks
+    that never completed before the fan-out's deadline.
+    """
+
+    value: object = None
+    error: BaseException | None = None
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+
+def parallel_map_outcomes(
+    fn: Callable,
+    items: Iterable,
+    workers: int,
+    pool: ThreadPoolExecutor | None = None,
+    deadline: float | None = None,
+) -> list[TaskOutcome]:
+    """Fault-tolerant :func:`parallel_map`: capture per-task outcomes in order.
+
+    Unlike :func:`parallel_map`, a task raising does not abort the fan-out —
+    its exception is captured in its :class:`TaskOutcome` and every other task
+    still runs, which is what lets the sharded executor fail or degrade one
+    shard without losing the others' work.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp: tasks not
+    finished by then are reported ``timed_out`` (queued tasks are cancelled;
+    already-running tasks cannot be interrupted mid-kernel and are left to
+    finish in the background, their late results discarded).  Outcomes are a
+    consistent snapshot taken at the deadline — a task finishing afterwards
+    never mutates what the caller sees.  With ``workers <= 1`` the tasks run
+    sequentially and the deadline is checked between tasks.
+    """
+    work = list(items)
+    if workers <= 1 or len(work) <= 1:
+        outcomes = []
+        for item in work:
+            if deadline is not None and time.monotonic() >= deadline and outcomes:
+                outcomes.append(TaskOutcome(timed_out=True))
+                continue
+            try:
+                outcomes.append(TaskOutcome(value=fn(item)))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(error=exc))
+        return outcomes
+
+    def run(item) -> TaskOutcome:
+        try:
+            return TaskOutcome(value=fn(item))
+        except Exception as exc:
+            return TaskOutcome(error=exc)
+
+    own: ThreadPoolExecutor | None = None
+    executor = pool
+    if executor is None:
+        own = executor = ThreadPoolExecutor(max_workers=min(int(workers), len(work)))
+    try:
+        futures = [executor.submit(run, item) for item in work]
+        if deadline is None:
+            futures_wait(futures)
+        else:
+            futures_wait(futures, timeout=max(0.0, deadline - time.monotonic()))
+            for future in futures:
+                future.cancel()
+    finally:
+        if own is not None:
+            # A deadline must not block on stragglers; without one every
+            # future is already done and shutdown returns immediately.
+            own.shutdown(wait=deadline is None, cancel_futures=True)
+    return [
+        future.result() if future.done() and not future.cancelled() else TaskOutcome(timed_out=True)
+        for future in futures
+    ]
 
 
 class SharedRadius:

@@ -27,15 +27,39 @@ from pathlib import Path
 
 import numpy as np
 
+from .integrity import CorruptionError, checksum
 from .series import SERIES_DTYPE, Dataset
 from .storage import DEFAULT_PAGE_BYTES, SeriesStore
 
-__all__ = ["dataset_fingerprint", "save_method", "load_method", "IndexEnvelope"]
+__all__ = [
+    "dataset_fingerprint",
+    "save_method",
+    "load_method",
+    "IndexEnvelope",
+    "DatasetFileError",
+]
 
-#: version 2 added the ``storage`` provenance block; version-1 files (no
-#: storage recorded) still load, they just cannot re-open their dataset.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: version 2 added the ``storage`` provenance block; version 3 added the
+#: ``state_checksum`` over the pickled method state.  Older files still load
+#: (version-1 files cannot re-open their dataset; pre-3 files skip the
+#: payload-integrity check because no digest was recorded).
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
+
+
+class DatasetFileError(ValueError):
+    """The dataset file recorded in an index envelope is missing or wrong.
+
+    Raised by :func:`load_method` before any backend is constructed, so the
+    failure names the recorded file instead of surfacing later as an opaque
+    short read.  Carries the offending ``path`` and the recorded backend
+    ``kind`` for programmatic handling.
+    """
+
+    def __init__(self, message: str, *, path: str = "", kind: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
@@ -75,6 +99,10 @@ class IndexEnvelope:
     #: storage provenance: backend kind, source path, page_bytes, geometry
     #: (``SeriesStore.describe_storage``).  Empty for version-1 files.
     storage: dict = field(default_factory=dict)
+    #: CRC-32 of ``method_state``; lets :func:`load_method` refuse a silently
+    #: truncated or bit-rotted index file with a typed error instead of
+    #: unpickling garbage.  Zero on pre-version-3 files (check skipped).
+    state_checksum: int = 0
 
     def summary(self) -> dict:
         info = {
@@ -113,10 +141,45 @@ def save_method(method, path: str | Path) -> IndexEnvelope:
         dataset_fingerprint=dataset_fingerprint(dataset),
         method_state=state,
         storage=storage,
+        state_checksum=checksum(state),
     )
     with open(path, "wb") as handle:
         pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return envelope
+
+
+def _check_dataset_file(source: str, storage: dict) -> None:
+    """Validate the recorded dataset file before any backend touches it.
+
+    Existence is checked for every backend kind; for headerless raw-f32 files
+    the size is also checked against the recorded row geometry (``.npy`` and
+    ``.rcz`` carry self-describing headers their backends validate on open).
+    """
+    kind = str(storage.get("kind") or "")
+    file = Path(source)
+    if not file.is_file():
+        raise DatasetFileError(
+            f"recorded dataset file not found: {source} (backend {kind!r}); "
+            "the index is valid but its data file moved or was deleted",
+            path=str(source),
+            kind=kind,
+        )
+    if storage.get("format") == "raw-f32":
+        length = int(storage.get("length") or 0)
+        stop = storage.get("stop")
+        if stop is None:
+            stop = int(storage.get("start") or 0) + int(storage.get("count") or 0)
+        required = int(stop) * length * np.dtype(SERIES_DTYPE).itemsize
+        actual = file.stat().st_size
+        if length > 0 and actual < required:
+            raise DatasetFileError(
+                f"{source}: file holds {actual} bytes but the envelope records "
+                f"rows up to {stop} of length {length} ({required} bytes); the "
+                f"file was truncated or replaced after the index was saved "
+                f"(backend {kind!r})",
+                path=str(source),
+                kind=kind,
+            )
 
 
 def load_method(
@@ -137,7 +200,12 @@ def load_method(
 
     Raises ``ValueError`` when the file was produced by an unsupported format
     version, the dataset does not match the fingerprint recorded at save
-    time, or no dataset is available.
+    time, or no dataset is available; :class:`DatasetFileError` (a
+    ``ValueError``) when the recorded dataset file is missing or smaller than
+    the recorded geometry requires; and
+    :class:`~repro.core.integrity.CorruptionError` when the pickled method
+    state does not match the checksum recorded at save time (truncated or
+    bit-rotted index file).
     """
     if page_bytes is not None and page_bytes <= 0:
         raise ValueError("page_bytes must be positive")
@@ -150,6 +218,18 @@ def load_method(
             f"unsupported index format version {envelope.format_version} "
             f"(expected one of {_SUPPORTED_VERSIONS})"
         )
+    recorded = int(getattr(envelope, "state_checksum", 0) or 0)
+    if recorded:
+        actual = checksum(envelope.method_state)
+        if actual != recorded:
+            raise CorruptionError(
+                f"{path}: index state checksum mismatch (expected "
+                f"{recorded:#010x}, got {actual:#010x}); the file is "
+                "truncated or corrupted — rebuild and re-save the index",
+                path=str(path),
+                expected=recorded,
+                actual=actual,
+            )
     storage = getattr(envelope, "storage", None) or {}
     if dataset is None:
         source = storage.get("source_path")
@@ -158,6 +238,7 @@ def load_method(
                 "no dataset given and the index file records no source path; "
                 "pass the dataset the index was built on"
             )
+        _check_dataset_file(source, storage)
         # Reopen exactly the recorded row range: an index built over a slice
         # of the file (e.g. a shard store) must not come back over the whole
         # file — the fingerprint check would reject it.  The backend kind is

@@ -18,7 +18,7 @@ Layout of a ``.rcz`` file (all little-endian)::
               row count, series length, block_rows, table offset
     blocks   back-to-back (possibly compressed) C-order int payloads
     table    one 32-byte entry per block: payload offset + stored size,
-              float32 scale + shift, row count
+              float32 scale + shift, row count, payload CRC-32 (version 2)
 
 The header is written as a placeholder at open time and patched on close
 (the :class:`~repro.core.series.SeriesFileWriter` pattern), so the writer
@@ -29,12 +29,14 @@ the append chunking.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from pathlib import Path
 
 import numpy as np
 
+from . import integrity
 from .series import SERIES_DTYPE
 
 __all__ = [
@@ -63,14 +65,19 @@ _CODECS = {"none": 0, "zlib": 1, "lz4": 2}
 _CODES_CODEC = {code: name for name, code in _CODECS.items()}
 
 _MAGIC = b"RCZ1"
-_VERSION = 1
+#: version 2 records a CRC-32 digest of every stored payload in the block
+#: table (in the slot version 1 kept as alignment padding — same byte
+#: layout); version-1 files remain readable, without checksum coverage.
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 #: fixed 64-byte header: magic, version, codec, qdtype code, pad,
 #: count, length, block_rows, table offset, 16 reserved bytes.
 _HEADER = struct.Struct("<4sHHB7xQQQQ16x")
 assert _HEADER.size == 64
 
 #: per-block footer-table entry: payload offset, stored bytes, scale, shift,
-#: rows in the block (pad keeps entries 8-byte aligned).
+#: rows in the block, CRC-32 of the stored payload (zero in version-1 files,
+#: where the slot was alignment padding).
 TABLE_DTYPE = np.dtype(
     [
         ("offset", "<u8"),
@@ -78,7 +85,7 @@ TABLE_DTYPE = np.dtype(
         ("scale", "<f4"),
         ("shift", "<f4"),
         ("rows", "<u4"),
-        ("pad", "<u4"),
+        ("crc", "<u4"),
     ]
 )
 assert TABLE_DTYPE.itemsize == 32
@@ -262,9 +269,13 @@ class CompressedFileWriter:
         self._count = 0
         self._pending: list[np.ndarray] = []
         self._pending_rows = 0
-        self._entries: list[tuple[int, int, float, float, int]] = []
+        self._entries: list[tuple[int, int, float, float, int, int]] = []
         self._offset = _HEADER.size
-        self._handle = open(self.path, "wb")
+        # Stream into a sibling temp file; close() finalizes it into place
+        # atomically, so an interrupted writer never leaves a file that
+        # parses as valid (readers see either nothing or the complete file).
+        self._tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self._handle = open(self._tmp_path, "wb")
         self._handle.write(b"\x00" * _HEADER.size)  # placeholder, patched on close
 
     @property
@@ -305,7 +316,14 @@ class CompressedFileWriter:
         codes, scale, shift = quantize_block(block, QUANTIZED_DTYPES[self.qdtype])
         payload = _encode_payload(codes, self.codec, self.level)
         self._entries.append(
-            (self._offset, len(payload), float(scale), float(shift), int(rows))
+            (
+                self._offset,
+                len(payload),
+                float(scale),
+                float(shift),
+                int(rows),
+                integrity.checksum(payload),
+            )
         )
         self._handle.write(payload)
         self._offset += len(payload)
@@ -317,8 +335,8 @@ class CompressedFileWriter:
             if self._pending_rows:
                 self._flush_block(self._pending_rows)
             table = np.zeros(len(self._entries), dtype=TABLE_DTYPE)
-            for i, (offset, nbytes, scale, shift, rows) in enumerate(self._entries):
-                table[i] = (offset, nbytes, scale, shift, rows, 0)
+            for i, entry in enumerate(self._entries):
+                table[i] = entry
             table_offset = self._offset
             self._handle.write(table.tobytes())
             self._handle.seek(0)
@@ -337,15 +355,26 @@ class CompressedFileWriter:
         finally:
             handle, self._handle = self._handle, None
             handle.close()
+        os.replace(self._tmp_path, self.path)
+
+    def abandon(self) -> None:
+        """Discard the half-written temp file; the target path is untouched."""
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        handle.close()
+        try:
+            os.unlink(self._tmp_path)
+        except OSError:
+            pass
 
     def __enter__(self) -> "CompressedFileWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None and self._handle is not None:
-            # Abandon the half-written file rather than finalizing garbage.
-            handle, self._handle = self._handle, None
-            handle.close()
+        if exc_type is not None:
+            # Abandon the half-written temp rather than finalizing garbage.
+            self.abandon()
             return
         self.close()
 
@@ -373,9 +402,11 @@ class RczInfo:
         "codec",
         "table",
         "stored_prefix",
+        "has_checksums",
     )
 
-    def __init__(self, count, length, block_rows, qdtype_name, codec, table):
+    def __init__(self, count, length, block_rows, qdtype_name, codec, table,
+                 has_checksums: bool = False):
         self.count = int(count)
         self.length = int(length)
         self.block_rows = int(block_rows)
@@ -383,6 +414,8 @@ class RczInfo:
         self.qdtype = np.dtype(QUANTIZED_DTYPES[qdtype_name])
         self.codec = codec
         self.table = table
+        #: whether the table records per-payload CRC-32 digests (version >= 2).
+        self.has_checksums = bool(has_checksums)
         #: cumulative stored payload bytes by block — physical accounting is a
         #: prefix-sum difference, O(1) per accounted read.
         self.stored_prefix = np.concatenate(
@@ -412,7 +445,7 @@ def read_rcz_info(path) -> RczInfo:
         )
         if magic != _MAGIC:
             raise ValueError(f"{path}: not a .rcz compressed series file")
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"{path}: unsupported .rcz version {version}")
         if qcode not in _CODES_QDTYPE:
             raise ValueError(f"{path}: unknown quantized dtype code {qcode}")
@@ -428,4 +461,12 @@ def read_rcz_info(path) -> RczInfo:
         table = np.frombuffer(raw, dtype=TABLE_DTYPE)
         if int(table["rows"].sum()) != count:
             raise ValueError(f"{path}: block table rows do not sum to the row count")
-    return RczInfo(count, length, block_rows, _CODES_QDTYPE[qcode], codec, table)
+    return RczInfo(
+        count,
+        length,
+        block_rows,
+        _CODES_QDTYPE[qcode],
+        codec,
+        table,
+        has_checksums=version >= 2,
+    )

@@ -11,6 +11,7 @@ paper's experimental setup ("All methods use single precision values").
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
 
@@ -399,14 +400,27 @@ class SeriesFileWriter:
 
     The result is readable by :meth:`Dataset.from_file` (and, for ``.npy``,
     by plain :func:`numpy.load`).
+
+    The writer streams into ``<path>.tmp`` and moves it into place atomically
+    on close, so an interrupted run never leaves a truncated file at ``path``
+    that parses as valid.  Unless ``checksums=False``, closing also writes a
+    ``<path>.crc`` sidecar of per-block CRC-32 digests (see
+    :mod:`repro.core.integrity`) that the storage layer verifies reads
+    against; the sidecar is chunking-invariant, like the file bytes.
     """
 
-    def __init__(self, path: str | Path, length: int | None = None) -> None:
+    def __init__(
+        self, path: str | Path, length: int | None = None, *, checksums: bool = True
+    ) -> None:
+        from .integrity import ChecksumAccumulator
+
         self.path = Path(path)
         self._length = int(length) if length is not None else None
         self._count = 0
         self._is_npy = self.path.suffix.lower() not in RAW_SUFFIXES
-        self._handle = open(self.path, "wb")
+        self._crc = ChecksumAccumulator() if checksums else None
+        self._tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self._handle = open(self._tmp_path, "wb")
         if self._is_npy:
             # Placeholder preamble; rewritten with the final count on close.
             self._handle.write(_npy_preamble(0, self._length or 0))
@@ -439,6 +453,8 @@ class SeriesFileWriter:
                 f"chunk length {arr.shape[1]} != writer length {self._length}"
             )
         self._handle.write(arr.tobytes())
+        if self._crc is not None:
+            self._crc.update(arr)
         self._count += int(arr.shape[0])
         return int(arr.shape[0])
 
@@ -459,15 +475,36 @@ class SeriesFileWriter:
         finally:
             handle, self._handle = self._handle, None
             handle.close()
+        os.replace(self._tmp_path, self.path)
+        if self._crc is not None:
+            from .integrity import write_manifest
+
+            write_manifest(
+                self.path,
+                block_rows=self._crc.block_rows,
+                count=self._count,
+                length=self._length or 0,
+                crcs=self._crc.digests(),
+            )
+
+    def abandon(self) -> None:
+        """Discard the half-written temp file; the target path is untouched."""
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        handle.close()
+        try:
+            os.unlink(self._tmp_path)
+        except OSError:
+            pass
 
     def __enter__(self) -> "SeriesFileWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None and self._handle is not None:
-            # Abandon the half-written file without the empty-file finalize error.
-            handle, self._handle = self._handle, None
-            handle.close()
+        if exc_type is not None:
+            # Abandon the half-written temp without the empty-file finalize error.
+            self.abandon()
             return
         self.close()
 

@@ -47,6 +47,9 @@ class AccessCounter:
     #: measured wall-clock seconds spent in backend reads (only accumulated by
     #: stores opened with ``measure_io=True``; calibrates the simulated models).
     measured_io_seconds: float = 0.0
+    #: backend reads retried after a transient fault (zero on healthy storage;
+    #: the resilience layer's visibility into how hard it had to work).
+    retries: int = 0
 
     def reset(self) -> None:
         self.sequential_pages = 0
@@ -56,6 +59,7 @@ class AccessCounter:
         self.physical_bytes_read = 0
         self.bytes_written = 0
         self.measured_io_seconds = 0.0
+        self.retries = 0
 
     def snapshot(self) -> "AccessCounter":
         return AccessCounter(
@@ -66,6 +70,7 @@ class AccessCounter:
             physical_bytes_read=self.physical_bytes_read,
             bytes_written=self.bytes_written,
             measured_io_seconds=self.measured_io_seconds,
+            retries=self.retries,
         )
 
     def diff(self, earlier: "AccessCounter") -> "AccessCounter":
@@ -78,6 +83,7 @@ class AccessCounter:
             physical_bytes_read=self.physical_bytes_read - earlier.physical_bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
             measured_io_seconds=self.measured_io_seconds - earlier.measured_io_seconds,
+            retries=self.retries - earlier.retries,
         )
 
     def merge(self, other: "AccessCounter") -> None:
@@ -88,6 +94,7 @@ class AccessCounter:
         self.physical_bytes_read += other.physical_bytes_read
         self.bytes_written += other.bytes_written
         self.measured_io_seconds += other.measured_io_seconds
+        self.retries += other.retries
 
 
 @dataclass
@@ -122,6 +129,15 @@ class QueryStats:
     measured_io_seconds: float = 0.0
     #: distance of the final (exact or approximate) answer.
     answer_distance: float = float("nan")
+    #: backend reads retried after transient faults while answering this query.
+    retries: int = 0
+    #: shard workers that failed permanently (after re-fork/re-execution) and
+    #: were dropped from this query's answer under ``allow_partial``.
+    shards_failed: int = 0
+    #: the degraded-answer flag: ``True`` when any part of the collection was
+    #: *not* consulted (failed or deadline-expired shards), so the reported
+    #: neighbors are correct for the data examined but may be incomplete.
+    degraded: bool = False
 
     @property
     def pruning_ratio(self) -> float:
@@ -147,6 +163,9 @@ class QueryStats:
         self.cpu_seconds += other.cpu_seconds
         self.io_seconds += other.io_seconds
         self.measured_io_seconds += other.measured_io_seconds
+        self.retries += other.retries
+        self.shards_failed += other.shards_failed
+        self.degraded = self.degraded or other.degraded
         self.dataset_size = max(self.dataset_size, other.dataset_size)
 
 

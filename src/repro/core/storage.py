@@ -26,6 +26,14 @@ import time
 import numpy as np
 
 from .backends import StorageBackend, resolve_backend, touch_pages
+from .faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjectingBackend,
+    FaultPlan,
+    RetryPolicy,
+    TransientIOError,
+)
+from .integrity import SequentialVerifier, verify_positions, verify_row_range
 from .series import Dataset
 from .stats import AccessCounter
 
@@ -77,11 +85,34 @@ class SeriesStore:
         page_bytes: int = DEFAULT_PAGE_BYTES,
         backend: StorageBackend | str | None = None,
         measure_io: bool = False,
+        faults: FaultPlan | str | None = None,
+        retry: RetryPolicy | None = None,
+        verify: bool | None = None,
     ) -> None:
+        """``faults`` wraps the backend in deterministic fault injection (a
+        :class:`~repro.core.faults.FaultPlan`, a spec string, or — when left
+        ``None`` — whatever ``REPRO_FAULT_PLAN`` describes).  ``retry`` is
+        the transient-fault :class:`~repro.core.faults.RetryPolicy` applied
+        around every backend read (default: 4 attempts with jittered
+        exponential backoff; ``RetryPolicy(attempts=1)`` disables retries).
+        ``verify`` controls checksum verification against the backend's
+        integrity data (``None``/``True``: verify whenever a ``.crc`` sidecar
+        exists; ``False``: off)."""
         if page_bytes <= 0:
             raise ValueError("page_bytes must be positive")
         self.dataset = dataset
-        self.backend = resolve_backend(dataset, backend)
+        resolved = resolve_backend(dataset, backend)
+        if isinstance(faults, str):
+            faults = FaultPlan.from_spec(faults)
+        if faults is None:
+            faults = FaultPlan.from_env()
+        if faults is not None and not isinstance(resolved, FaultInjectingBackend):
+            resolved = FaultInjectingBackend(resolved, faults)
+        self.backend = resolved
+        self.faults = resolved.plan if isinstance(resolved, FaultInjectingBackend) else None
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+        self.verify = verify is not False
+        self._manifest = self.backend.checksums() if self.verify else None
         self.page_bytes = int(page_bytes)
         self.measure_io = bool(measure_io)
         self.counter = AccessCounter()
@@ -129,6 +160,99 @@ class SeriesStore:
         self.counter.measured_io_seconds += time.perf_counter() - start
         return block
 
+    # -- resilient reads -------------------------------------------------------
+    def _retrying(self, op):
+        """Run one backend read under the store's retry policy.
+
+        Transient failures (injected or detected — see
+        :meth:`RetryPolicy.is_transient`) are retried with jittered
+        exponential backoff up to ``attempts`` total tries, counting each
+        retry; permanent faults (corruption, missing files) propagate
+        immediately.
+        """
+        policy = self.retry
+        attempt = 1
+        while True:
+            try:
+                return op()
+            except Exception as exc:
+                if attempt >= policy.attempts or not policy.is_transient(exc):
+                    raise
+                self.counter.retries += 1
+                time.sleep(policy.delay_for(attempt))
+                attempt += 1
+
+    def _read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Retried ``backend.read_rows`` with short-read detection."""
+        expected = max(0, min(int(stop), self.count) - max(0, int(start)))
+
+        def op():
+            block = self.backend.read_rows(start, stop)
+            if int(block.shape[0]) != expected:
+                raise TransientIOError(
+                    f"short read: got {int(block.shape[0])} rows of "
+                    f"[{start}, {stop}) (expected {expected})"
+                )
+            return block
+
+        return self._retrying(op)
+
+    def _take(self, idx: np.ndarray) -> np.ndarray:
+        """Retried ``backend.take`` with short-read detection."""
+
+        def op():
+            block = self.backend.take(idx)
+            if int(block.shape[0]) != int(idx.size):
+                raise TransientIOError(
+                    f"short read: got {int(block.shape[0])} of {int(idx.size)} rows"
+                )
+            return block
+
+        return self._retrying(op)
+
+    def _row(self, position: int) -> np.ndarray:
+        """Retried ``backend.row`` with shape validation."""
+
+        def op():
+            row = self.backend.row(position)
+            if int(row.shape[-1]) != self.length:
+                raise TransientIOError(
+                    f"short read: row {position} has {int(row.shape[-1])} points"
+                )
+            return row
+
+        return self._retrying(op)
+
+    def _verify_range(self, start: int, stop: int) -> None:
+        """Checksum-verify the manifest blocks covering rows ``start:stop``.
+
+        Verification reads go through the (retried) backend read path — so
+        damage anywhere between the file and the caller is seen — but touch
+        no counters: each file block is checked at most once per process (the
+        manifest's verified-set is shared across forks and slices), so the
+        steady-state cost on hot paths is zero.
+        """
+        if self._manifest is not None:
+            verify_row_range(
+                self._manifest,
+                self.backend.row_offset,
+                self.count,
+                start,
+                stop,
+                self._read_rows,
+            )
+
+    def _verify_positions(self, idx: np.ndarray) -> None:
+        """Checksum-verify the manifest blocks containing the rows at ``idx``."""
+        if self._manifest is not None:
+            verify_positions(
+                self._manifest,
+                self.backend.row_offset,
+                self.count,
+                idx,
+                self._read_rows,
+            )
+
     # -- access styles ---------------------------------------------------------
     def _account_scan(self) -> None:
         self.counter.random_accesses += 1
@@ -164,9 +288,21 @@ class SeriesStore:
             chunk_rows = max(1, DEFAULT_SCAN_CHUNK_BYTES // self._series_bytes)
         chunk_rows = max(1, int(chunk_rows))
         self._account_scan()
+        # Verification rides the stream: digests accumulate over the chunks
+        # the scan already produced (no second read) and each completed block
+        # is checked as its last row passes, so a corrupt block raises before
+        # any later chunk is served.
+        verifier = (
+            SequentialVerifier(self._manifest, self.backend.row_offset)
+            if self._manifest is not None
+            else None
+        )
         for start in range(0, self.count, chunk_rows):
             stop = min(start + chunk_rows, self.count)
-            yield start, self._serve(lambda s=start, e=stop: self.backend.read_rows(s, e))
+            block = self._serve(lambda s=start, e=stop: self._read_rows(s, e))
+            if verifier is not None:
+                verifier.feed(start, block)
+            yield start, block
             if drop:
                 # Release one chunk behind as well: the kernel's fault-around
                 # happily re-maps already-released pages adjacent to a later
@@ -216,8 +352,9 @@ class SeriesStore:
             stop = min(start + chunk_rows, idx.size)
             span_stop = int(np.searchsorted(idx, int(idx[start]) + chunk_rows, "left"))
             stop = max(start + 1, min(stop, span_stop))
+            self._verify_positions(idx[start:stop])
             # Like peek: no simulated counters and no measured-I/O timing.
-            yield slice(start, stop), self.backend.take(idx[start:stop]).astype(np.float64)
+            yield slice(start, stop), self._take(idx[start:stop]).astype(np.float64)
             low, high = int(idx[start]), int(idx[stop - 1]) + 1
             self.backend.release(low if previous_low is None else previous_low, high)
             previous_low = low
@@ -265,7 +402,9 @@ class SeriesStore:
         self.counter.physical_bytes_read += physical
         for start in range(0, self.count, chunk_rows):
             stop = min(start + chunk_rows, self.count)
-            yield start, stop, self.backend.quantized_parts(start, stop)
+            yield start, stop, self._retrying(
+                lambda s=start, e=stop: self.backend.quantized_parts(s, e)
+            )
             self.backend.release(max(0, start - chunk_rows), stop)
 
     def read_block(self, positions: np.ndarray | list[int]) -> np.ndarray:
@@ -285,7 +424,8 @@ class SeriesStore:
         self.counter.series_read += int(idx.size)
         self.counter.bytes_read += int(idx.size) * self._series_bytes
         self.counter.physical_bytes_read += self.backend.physical_bytes_for(idx)
-        return self._serve(lambda: self.backend.take(idx))
+        self._verify_positions(idx)
+        return self._serve(lambda: self._take(idx))
 
     def read_contiguous(self, start: int, stop: int) -> np.ndarray:
         """Read series ``start:stop`` from the raw file as one skip + block read.
@@ -301,7 +441,8 @@ class SeriesStore:
         self.counter.series_read += count
         self.counter.bytes_read += count * self._series_bytes
         self.counter.physical_bytes_read += self.backend.physical_bytes(start, stop)
-        return self._serve(lambda: self.backend.read_rows(start, stop))
+        self._verify_range(start, stop)
+        return self._serve(lambda: self._read_rows(start, stop))
 
     def read_one(self, position: int) -> np.ndarray:
         """Random access to a single series (a read-only view, not a copy)."""
@@ -312,7 +453,8 @@ class SeriesStore:
         self.counter.physical_bytes_read += self.backend.physical_bytes(
             position, position + 1
         )
-        return self._serve(lambda: self.backend.row(position))
+        self._verify_range(position, position + 1)
+        return self._serve(lambda: self._row(position))
 
     def peek(self, positions: np.ndarray | list[int] | slice) -> np.ndarray:
         """Access series *without* accounting.
@@ -320,7 +462,7 @@ class SeriesStore:
         Used only for building summaries where the build pass is already
         accounted for with an explicit :meth:`scan`.
         """
-        return self.backend.get(positions)
+        return self._retrying(lambda: self.backend.get(positions))
 
     # -- structure -------------------------------------------------------------
     def fork(self) -> "SeriesStore":
@@ -340,6 +482,8 @@ class SeriesStore:
             page_bytes=self.page_bytes,
             backend=self.backend.fork(),
             measure_io=self.measure_io,
+            retry=self.retry,
+            verify=self.verify,
         )
 
     def slice(self, start: int, stop: int, name: str | None = None) -> "SeriesStore":
@@ -365,6 +509,8 @@ class SeriesStore:
             page_bytes=self.page_bytes,
             backend=sub_backend,
             measure_io=self.measure_io,
+            retry=self.retry,
+            verify=self.verify,
         )
 
     def describe_storage(self) -> dict:

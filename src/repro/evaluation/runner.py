@@ -89,6 +89,17 @@ class ExperimentResult:
         memory/mmap."""
         return int(sum(s.physical_bytes_read for s in self.query_stats))
 
+    @property
+    def retries(self) -> int:
+        """Backend reads and shard executions retried after transient faults."""
+        return int(sum(s.retries for s in self.query_stats))
+
+    @property
+    def degraded_queries(self) -> int:
+        """Queries answered without consulting the full collection
+        (``allow_partial`` dropped one or more failed shards)."""
+        return int(sum(1 for s in self.query_stats if s.degraded))
+
     def per_query_seconds(self) -> np.ndarray:
         return np.array([s.total_seconds for s in self.query_stats])
 
@@ -119,6 +130,8 @@ class ExperimentResult:
             "sequential_pages": self.sequential_pages,
             "mb_read": round(self.bytes_read / (1024 * 1024), 3),
             "phys_mb_read": round(self.physical_bytes_read / (1024 * 1024), 3),
+            "retries": self.retries,
+            "degraded": self.degraded_queries,
         }
 
 
@@ -134,6 +147,8 @@ def run_experiment(
     workers: int | None = None,
     backend=None,
     measure_io: bool = False,
+    faults=None,
+    retry=None,
 ) -> ExperimentResult:
     """Build ``method_name`` over ``dataset`` and answer ``workload``.
 
@@ -156,12 +171,20 @@ def run_experiment(
     instance; ``None`` follows the dataset, so file-backed datasets run
     out-of-core automatically), and ``measure_io=True`` records measured
     wall-clock I/O per query next to the simulated accounting.
+
+    ``faults`` injects storage faults for chaos experiments (a
+    :class:`~repro.core.faults.FaultPlan` or its string spec, e.g.
+    ``"seed=7,transient=0.1"``) and ``retry`` overrides the store's
+    :class:`~repro.core.faults.RetryPolicy`; retry counts and degraded-query
+    flags surface in the result rows.
     """
     store = SeriesStore(
         dataset,
         page_bytes=page_bytes or platform.page_bytes,
         backend=backend,
         measure_io=measure_io,
+        faults=faults,
+        retry=retry,
     )
     method = create_method(method_name, store, **(method_params or {}))
     index_stats = method.build()

@@ -236,6 +236,7 @@ class SearchMethod(abc.ABC):
         stats.bytes_read += delta.bytes_read
         stats.physical_bytes_read += delta.physical_bytes_read
         stats.measured_io_seconds += delta.measured_io_seconds
+        stats.retries += delta.retries
 
     def _package_result(self, answers: KnnAnswerSet, stats: QueryStats) -> SearchResult:
         neighbors = answers.neighbors()
@@ -492,6 +493,7 @@ class SearchMethod(abc.ABC):
             stats.bytes_read = share(delta.bytes_read)
             stats.physical_bytes_read = share(delta.physical_bytes_read)
             stats.measured_io_seconds = delta.measured_io_seconds / count
+            stats.retries = share(delta.retries)
             stats_list.append(stats)
         return stats_list
 

@@ -45,7 +45,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.answers import KnnAnswerSet, Neighbor, RangeAnswerSet
-from ..core.parallel import SharedRadius, chunk_slices, parallel_map, resolve_workers
+from ..core.integrity import CorruptionError
+from ..core.parallel import (
+    SharedRadius,
+    chunk_slices,
+    parallel_map,
+    parallel_map_outcomes,
+    resolve_workers,
+)
 from ..core.queries import KnnQuery
 from ..core.stats import QueryStats
 from ..core.storage import SeriesStore
@@ -114,6 +121,24 @@ class ShardedMethod(SearchMethod):
         Thread-pool width for builds and searches (default: ``REPRO_WORKERS``
         or the CPU count).  ``workers=1`` runs the identical code path
         sequentially.
+    shard_attempts:
+        How many times a failed shard task is executed before it counts as
+        permanently failed (default 2: one retry).  Each attempt runs on a
+        *fresh* fork of the shard store, so a worker that died mid-query is
+        replaced wholesale rather than resumed.  :class:`CorruptionError`
+        short-circuits the retries — re-reading damaged bytes cannot help.
+    allow_partial:
+        Off (the default), a permanently failed shard fails the whole query
+        with the shard's original exception.  On, the query returns a
+        *degraded* answer over the surviving shards, with
+        ``QueryStats.degraded`` set and ``QueryStats.shards_failed`` counting
+        the dropped partitions — correct for the data examined, possibly
+        incomplete.
+    deadline_seconds:
+        Optional per-query time budget; shard tasks not finished in time are
+        dropped as failed.  Only meaningful with ``allow_partial=True``
+        (rejected otherwise), since a deadline exists to trade completeness
+        for latency.
     inner_params / **params:
         Forwarded to every inner method's constructor.
     """
@@ -128,6 +153,9 @@ class ShardedMethod(SearchMethod):
         inner: str = "flat",
         shards: int | None = None,
         workers: int | None = None,
+        shard_attempts: int = 2,
+        allow_partial: bool = False,
+        deadline_seconds: float | None = None,
         inner_params: dict | None = None,
         **params,
     ) -> None:
@@ -139,6 +167,20 @@ class ShardedMethod(SearchMethod):
         merged.update(params)
         self.inner_params = merged
         self.workers = resolve_workers(workers)
+        self.shard_attempts = int(shard_attempts)
+        if self.shard_attempts < 1:
+            raise ValueError("shard_attempts must be at least 1")
+        self.allow_partial = bool(allow_partial)
+        self.deadline_seconds = None if deadline_seconds is None else float(deadline_seconds)
+        if self.deadline_seconds is not None:
+            if self.deadline_seconds <= 0:
+                raise ValueError("deadline_seconds must be positive")
+            if not self.allow_partial:
+                raise ValueError(
+                    "deadline_seconds requires allow_partial=True: a deadline "
+                    "trades completeness for latency, which only a degraded "
+                    "answer can express"
+                )
         self._requested_shards = int(shards) if shards is not None else self.workers
         if self._requested_shards <= 0:
             raise ValueError("shards must be a positive integer")
@@ -264,7 +306,43 @@ class ShardedMethod(SearchMethod):
         )
 
     # -- shard task helpers -------------------------------------------------------
-    def _fan_out(self, run_shard):
+    def _deadline(self) -> float | None:
+        """Absolute monotonic deadline for one fan-out, or ``None``."""
+        if self.deadline_seconds is None:
+            return None
+        return time.monotonic() + self.deadline_seconds
+
+    def _run_with_attempts(self, execute, shard: _Shard, deadline: float | None):
+        """Execute one shard task with re-fork-and-retry failure recovery.
+
+        Each attempt forks the shard store afresh — the forked reader *is* the
+        replaceable worker, so a failed execution is thrown away wholesale
+        (partial counters included) and re-run from clean state.  Counters are
+        only surfaced from the attempt that succeeds.  A
+        :class:`CorruptionError` stops the retries immediately: the damage is
+        at rest, and re-reading the same bytes cannot produce a different
+        digest.  Returns ``(result, counter, extra_attempts)``; raises the
+        last failure when every attempt is exhausted.
+        """
+        failure: Exception | None = None
+        for attempt in range(self.shard_attempts):
+            if attempt and deadline is not None and time.monotonic() >= deadline:
+                break
+            reader = shard.store.fork()
+            try:
+                result = execute(shard, reader)
+            except CorruptionError as exc:
+                failure = exc
+                break
+            except Exception as exc:
+                failure = exc
+                continue
+            return result, reader.counter, attempt
+        raise failure if failure is not None else TimeoutError(
+            f"shard {shard.index} missed the fan-out deadline"
+        )
+
+    def _fan_out(self, run_shard, stats: QueryStats | None = None):
         """Run ``run_shard(shard, reader)`` per shard; merge forked counters.
 
         Every shard gets a forked store (private counter) for the duration of
@@ -272,20 +350,45 @@ class ShardedMethod(SearchMethod):
         thread's store counter, so accounting rolls up exactly once whether
         this search runs standalone or nested under an outer execution
         context.
+
+        Failure semantics: a shard task that raises is re-executed on a fresh
+        fork up to ``shard_attempts`` times.  If it still fails (or misses the
+        per-query deadline), either the original exception propagates
+        (``allow_partial=False``) or the shard is dropped and the degradation
+        is recorded in ``stats``.  Returns ``(shard, result)`` pairs for the
+        shards that succeeded — callers must not assume one entry per shard.
         """
+        deadline = self._deadline()
 
         def one(shard: _Shard):
-            reader = shard.store.fork()
-            result = run_shard(shard, reader)
-            return result, reader.counter
+            return self._run_with_attempts(run_shard, shard, deadline)
 
-        outputs = parallel_map(one, self._shards, self.workers, pool=self._executor())
+        outcomes = parallel_map_outcomes(
+            one, self._shards, self.workers, pool=self._executor(), deadline=deadline
+        )
         counter = self.store.counter
-        results = []
-        for result, fork_counter in outputs:
-            counter.merge(fork_counter)
-            results.append(result)
-        return results
+        successes = []
+        failed = 0
+        reexecutions = 0
+        for shard, outcome in zip(self._shards, outcomes):
+            if outcome.ok:
+                result, fork_counter, extra = outcome.value
+                counter.merge(fork_counter)
+                reexecutions += extra
+                successes.append((shard, result))
+            else:
+                failed += 1
+        if failed and not self.allow_partial:
+            error = next((o.error for o in outcomes if o.error is not None), None)
+            if error is not None:
+                raise error
+            raise TimeoutError(f"{failed} shard task(s) missed the fan-out deadline")
+        if stats is not None:
+            stats.retries += reexecutions
+            if failed:
+                stats.shards_failed += failed
+                stats.degraded = True
+        return successes
 
     # -- search -------------------------------------------------------------------
     def _knn_exact(self, query: np.ndarray, k: int, stats: QueryStats) -> KnnAnswerSet:
@@ -299,7 +402,7 @@ class ShardedMethod(SearchMethod):
             return answers, local
 
         merged = self._make_answer_set(k)
-        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+        for shard, (answers, local) in self._fan_out(run_shard, stats):
             merged.merge(answers, position_offset=shard.offset)
             self._merge_query_stats(stats, local)
         return merged
@@ -316,7 +419,7 @@ class ShardedMethod(SearchMethod):
             return answers, local
 
         merged = self._make_answer_set(k)
-        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+        for shard, (answers, local) in self._fan_out(run_shard, stats):
             merged.merge(answers, position_offset=shard.offset)
             self._merge_query_stats(stats, local)
         return merged
@@ -331,7 +434,7 @@ class ShardedMethod(SearchMethod):
             return answers, local
 
         merged = RangeAnswerSet(radius=radius)
-        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+        for shard, (answers, local) in self._fan_out(run_shard, stats):
             merged.matches.extend(
                 Neighbor(distance=n.distance, position=n.position + shard.offset)
                 for n in answers.matches
@@ -377,25 +480,43 @@ class ShardedMethod(SearchMethod):
 
             return factory
 
-        def one(task):
-            shard, sl = task
-            reader = shard.store.fork()
-            with shard.method.execution_context(
-                store=reader, answer_factory=radius_factory(sl)
-            ):
-                sets, stats_list = shard.method._batch_answer_sets(queries[sl], k)
-            return sets, stats_list, reader.counter
+        deadline = self._deadline()
 
-        outputs = parallel_map(one, tasks, self.workers, pool=self._executor())
+        def execute(task):
+            def attempt(shard: _Shard, reader: SeriesStore):
+                with shard.method.execution_context(
+                    store=reader, answer_factory=radius_factory(task[1])
+                ):
+                    return shard.method._batch_answer_sets(queries[task[1]], k)
+
+            return self._run_with_attempts(attempt, task[0], deadline)
+
+        outcomes = parallel_map_outcomes(
+            execute, tasks, self.workers, pool=self._executor(), deadline=deadline
+        )
         merged_sets = [self._make_answer_set(k) for _ in range(total)]
         merged_stats = [QueryStats(dataset_size=self.store.count) for _ in range(total)]
         counter = self.store.counter
-        for (shard, sl), (sets, stats_list, fork_counter) in zip(tasks, outputs):
+        for (shard, sl), outcome in zip(tasks, outcomes):
+            if not outcome.ok:
+                if not self.allow_partial:
+                    if outcome.error is not None:
+                        raise outcome.error
+                    raise TimeoutError(
+                        f"shard {shard.index} missed the batch fan-out deadline"
+                    )
+                # Degrade exactly the queries this (shard, chunk) task served.
+                for j in range(sl.start, sl.stop):
+                    merged_stats[j].shards_failed += 1
+                    merged_stats[j].degraded = True
+                continue
+            (sets, stats_list), fork_counter, extra = outcome.value
             counter.merge(fork_counter)
             for within, (answers, shard_stats) in enumerate(zip(sets, stats_list)):
                 j = sl.start + within
                 merged_sets[j].merge(answers, position_offset=shard.offset)
                 self._merge_query_stats(merged_stats[j], shard_stats)
+                merged_stats[j].retries += extra
         return merged_sets, merged_stats
 
     def knn_epsilon(self, query: KnnQuery, epsilon: float = 0.0) -> SearchResult:
@@ -425,7 +546,7 @@ class ShardedMethod(SearchMethod):
             return answers, local
 
         merged = self._make_answer_set(query.k)
-        for shard, (answers, local) in zip(self._shards, self._fan_out(run_shard)):
+        for shard, (answers, local) in self._fan_out(run_shard, stats):
             merged.merge(answers, position_offset=shard.offset)
             self._merge_query_stats(stats, local)
         stats.cpu_seconds = time.perf_counter() - start
@@ -450,6 +571,9 @@ class ShardedMethod(SearchMethod):
             inner=self.inner_name,
             shards=self.shard_count,
             workers=self.workers,
+            shard_attempts=self.shard_attempts,
+            allow_partial=self.allow_partial,
+            deadline_seconds=self.deadline_seconds,
             inner_params=dict(self.inner_params),
         )
         return info

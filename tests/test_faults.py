@@ -1,0 +1,203 @@
+"""Unit tests for the deterministic fault-injection layer (core.faults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, SeriesStore
+from repro.core.backends import MemoryBackend
+from repro.core.faults import (
+    DEFAULT_RETRY_POLICY,
+    FAULT_PLAN_ENV,
+    FaultInjectingBackend,
+    FaultPlan,
+    RetryPolicy,
+    TransientIOError,
+)
+from repro.core.integrity import CorruptionError
+
+
+def _values(count=64, length=16, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((count, length)).astype(np.float32)
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.from_spec("seed=7, transient=0.2, latency=0.05")
+        assert plan.seed == 7
+        assert plan.transient == pytest.approx(0.2)
+        assert plan.latency == pytest.approx(0.05)
+        # Unset fields keep their defaults.
+        assert plan.corrupt == 0.0
+        assert plan.max_failures == 3
+
+    def test_spec_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault-plan key"):
+            FaultPlan.from_spec("seed=1,explode=0.5")
+
+    def test_spec_rejects_bad_item(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            FaultPlan.from_spec("transient")
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="transient"):
+            FaultPlan(transient=1.5)
+        with pytest.raises(ValueError, match="region_rows"):
+            FaultPlan(region_rows=0)
+
+    def test_roll_is_deterministic_and_seed_sensitive(self):
+        a = FaultPlan(seed=1)
+        b = FaultPlan(seed=2)
+        assert a.roll("x", 3) == a.roll("x", 3)
+        assert a.roll("x", 3) != b.roll("x", 3)
+        assert 0.0 <= a.roll("anything") < 1.0
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=9,transient=0.1")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.seed == 9
+
+
+class TestFaultInjectingBackend:
+    def test_transient_fails_then_recovers(self):
+        inner = MemoryBackend(_values())
+        wrapper = FaultInjectingBackend(inner, FaultPlan(seed=0, transient=1.0))
+        failures = 0
+        for _ in range(wrapper.plan.max_failures + 1):
+            try:
+                data = wrapper.read_rows(0, 8)
+            except TransientIOError:
+                failures += 1
+            else:
+                break
+        # A faulty site fails a bounded number of attempts, then serves the
+        # true bytes.
+        assert 1 <= failures <= wrapper.plan.max_failures
+        np.testing.assert_array_equal(data, inner.read_rows(0, 8))
+
+    def test_fork_rerolls_incarnation(self):
+        inner = MemoryBackend(_values())
+        plan = FaultPlan(seed=5, transient=0.5)
+        wrapper = FaultInjectingBackend(inner, plan)
+        forked = wrapper.fork()
+        assert forked._incarnation != wrapper._incarnation
+        # slice keeps the incarnation: a partition is not a retry.
+        assert wrapper.slice(0, 10)._incarnation == wrapper._incarnation
+
+    def test_never_stacks_injection_layers(self):
+        inner = MemoryBackend(_values())
+        once = FaultInjectingBackend(inner, FaultPlan())
+        twice = FaultInjectingBackend(once, FaultPlan(seed=1))
+        assert twice.inner is inner
+
+    def test_corruption_is_damage_at_rest(self):
+        inner = MemoryBackend(_values(count=256))
+        plan = FaultPlan(seed=3, corrupt=1.0, region_rows=64)
+        wrapper = FaultInjectingBackend(inner, plan)
+        first = wrapper.read_rows(0, 256)
+        second = wrapper.read_rows(0, 256)
+        forked = wrapper.fork().read_rows(0, 256)
+        # Same damage on every read and every fork (corruption ignores the
+        # incarnation), and it differs from the true bytes.
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, forked)
+        assert not np.array_equal(first, inner.read_rows(0, 256))
+        # The inner backend's own array is untouched (copy-on-corrupt).
+        assert np.isfinite(inner.read_rows(0, 256)).all()
+
+    def test_truncate_returns_short_reads(self):
+        inner = MemoryBackend(_values(count=128))
+        wrapper = FaultInjectingBackend(inner, FaultPlan(seed=1, truncate=1.0))
+        data = wrapper.read_rows(0, 100)
+        assert data.shape[0] < 100
+
+    def test_geometry_and_describe_delegate(self):
+        inner = MemoryBackend(_values())
+        wrapper = FaultInjectingBackend(inner, FaultPlan(seed=2, transient=0.1))
+        assert wrapper.count == inner.count
+        assert wrapper.length == inner.length
+        assert wrapper.kind == "memory"
+        assert "faults" in wrapper.describe()
+
+
+class TestRetryPolicy:
+    def test_transient_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientIOError("x"))
+        assert policy.is_transient(OSError("disk hiccup"))
+        assert policy.is_transient(TimeoutError())
+        assert not policy.is_transient(CorruptionError("bad block"))
+        assert not policy.is_transient(FileNotFoundError("gone"))
+        assert not policy.is_transient(ValueError("not io"))
+
+    def test_delays_bounded_and_growing(self):
+        policy = RetryPolicy(jitter=0.0)
+        delays = [policy.delay_for(i) for i in range(1, 10)]
+        assert delays == sorted(delays)
+        assert max(delays) <= policy.max_delay
+
+    def test_jitter_never_exceeds_nominal(self):
+        policy = RetryPolicy(jitter=0.5)
+        nominal = RetryPolicy(jitter=0.0).delay_for(2)
+        for _ in range(20):
+            assert 0.0 < policy.delay_for(2) <= nominal
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestStoreResilience:
+    def test_store_retries_transparently(self):
+        dataset = Dataset(values=_values(count=200), name="faulty")
+        clean = SeriesStore(Dataset(values=_values(count=200), name="clean"))
+        store = SeriesStore(dataset, faults=FaultPlan(seed=11, transient=1.0))
+        chunks = [chunk for _, chunk in store.scan_chunks()]
+        expected = [chunk for _, chunk in clean.scan_chunks()]
+        np.testing.assert_array_equal(np.vstack(chunks), np.vstack(expected))
+        assert store.counter.retries > 0
+
+    def test_truncated_reads_are_retried_to_full_length(self):
+        dataset = Dataset(values=_values(count=200), name="short-reads")
+        store = SeriesStore(dataset, faults=FaultPlan(seed=4, truncate=0.9))
+        data = store.read_contiguous(0, 200)
+        assert data.shape == (200, 16)
+
+    def test_fault_spec_string_accepted(self):
+        store = SeriesStore(
+            Dataset(values=_values(), name="spec"), faults="seed=3,transient=0.5"
+        )
+        assert store.faults is not None and store.faults.seed == 3
+
+    def test_env_plan_applies_to_new_stores(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=21,transient=0.3")
+        store = SeriesStore(Dataset(values=_values(), name="env-plan"))
+        assert store.faults is not None and store.faults.seed == 21
+
+    def test_retry_budget_exhaustion_raises_transient(self):
+        dataset = Dataset(values=_values(count=64), name="hopeless")
+        # max_failures beyond the retry budget: the typed error escapes.
+        store = SeriesStore(
+            dataset,
+            faults=FaultPlan(seed=1, transient=1.0, max_failures=50),
+            retry=RetryPolicy(attempts=2, base_delay=0.0001),
+        )
+        with pytest.raises(TransientIOError):
+            store.read_contiguous(0, 32)
+
+    def test_fork_and_slice_keep_the_plan(self):
+        store = SeriesStore(
+            Dataset(values=_values(count=100), name="lineage"),
+            faults=FaultPlan(seed=2, transient=0.2),
+        )
+        assert store.fork().faults == store.faults
+        assert store.slice(0, 50).faults == store.faults
+
+    def test_default_policy_is_active(self):
+        store = SeriesStore(Dataset(values=_values(), name="defaults"))
+        assert store.retry == DEFAULT_RETRY_POLICY
+        assert store.faults is None
