@@ -17,6 +17,12 @@ Scenario kinds:
 * ``shard-loss`` — a permanently failing shard under ``allow_partial``; PASS
   means every answer came back flagged degraded with the failed shard
   counted.
+* ``ingest-kill`` — a live ingest into a growable store SIGKILLed mid-extend
+  or mid-checkpoint (subprocess crash harness); PASS means every acked row
+  survived recovery bit-exact and the store stayed usable.
+* ``live-query`` — queries against a snapshot taken while extend() keeps
+  landing rows; PASS means the answers are identical to a frozen store of
+  the watermarked prefix.
 
 Run directly::
 
@@ -150,6 +156,59 @@ def _shard_loss_cell(dataset, queries, baseline):
     }
 
 
+def _ingest_kill_cell(crash_point, seed, tmp):
+    from repro.core.crash_harness import run_crash_cell
+
+    outcome = run_crash_cell(
+        Path(tmp) / f"crash-{crash_point}-{seed}",
+        crash_point=crash_point,
+        crash_hit=2,
+        seed=seed,
+        count=128,
+        length=24,
+        batch_rows=16,
+        checkpoint_every=2,
+    )
+    return {
+        "scenario": "ingest-kill",
+        "crash_point": crash_point,
+        "killed": outcome.killed,
+        "acked": outcome.acked_rows,
+        "recovered": outcome.recovered_rows,
+        "ok": outcome.ok and outcome.killed,
+        "failures": outcome.failures,
+    }
+
+
+def _live_query_cell(name, queries, seed, tmp):
+    from repro.core.growable import GrowableBackend
+    from repro.workloads.generators import random_walk
+
+    matrix = random_walk(160, 32, seed=seed)
+    backend = GrowableBackend(
+        Path(tmp) / f"live-{name.replace(':', '_')}-{seed}",
+        length=32,
+        create=True,
+    )
+    backend.extend(matrix[:120])
+    store = SeriesStore(Dataset.from_file(backend.root))
+    live = _build(name, store.snapshot())
+    frozen = _build(
+        name, SeriesStore(Dataset(values=matrix[:120].copy(), name="frozen"))
+    )
+    identical = True
+    for query in queries:
+        store.extend(matrix[store.count : store.count + 8])  # mid-flight ingest
+        if _answers(live, [query]) != _answers(frozen, [query]):
+            identical = False
+    backend.close()
+    return {
+        "scenario": "live-query",
+        "identical": identical,
+        "ok": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -191,6 +250,20 @@ def main(argv=None) -> int:
         cell.update(method="sharded:flat", seed=None)
         rows.append(cell)
         failures += 0 if cell["ok"] else 1
+
+        for crash_point in ("kill_after_wal_write", "kill_mid_checkpoint"):
+            for seed in seeds:
+                cell = _ingest_kill_cell(crash_point, seed, tmp)
+                cell.update(method="ingest", seed=seed)
+                rows.append(cell)
+                failures += 0 if cell["ok"] else 1
+
+        for name in ("flat", "sharded:flat"):
+            for seed in seeds:
+                cell = _live_query_cell(name, queries, seed, tmp)
+                cell.update(method=name, seed=seed)
+                rows.append(cell)
+                failures += 0 if cell["ok"] else 1
 
     report = {
         "benchmark": "chaos_matrix",

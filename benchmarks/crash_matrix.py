@@ -1,0 +1,128 @@
+"""Crash-recovery matrix: SIGKILL grid over crash points, seeds, and layouts.
+
+Runs the subprocess crash harness (``repro.core.crash_harness``) over the
+full grid of seeded crash points x fault seeds x store layouts and writes the
+outcomes as a JSON artifact.  The gate is absolute: any cell that loses an
+acked row (with honest fsyncs), materializes torn data, or leaves the store
+unusable fails the run with exit code 1 — CI uploads the artifact either way
+so a regression is a diff, not a mystery.
+
+Grid dimensions:
+
+* **crash point** — every seeded kill site in ``CRASH_POINTS``: after the
+  WAL fsync, before it, mid-checkpoint-segment, after the segment seal, and
+  before the WAL truncate.
+* **seed** — the ingest's random-walk seed; both the child and the auditor
+  regenerate the same matrix, so row equality is bit-exact.
+* **layout** — batch/checkpoint cadence variants, including a no-checkpoint
+  run (everything rides the WAL) and a lying-fsync run (acked rows may be
+  lost by design; the cell then audits prefix consistency only).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/crash_matrix.py --seeds 7,23
+
+Not collected under plain pytest (see conftest.py); set RUN_BENCHMARKS=1 to
+opt the benchmark suite into a pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.crash_harness import run_crash_cell  # noqa: E402
+from repro.core.faults import CRASH_POINTS  # noqa: E402
+
+#: layout variants: (label, harness overrides)
+LAYOUTS = (
+    ("checkpointed", dict(batch_rows=16, checkpoint_every=2)),
+    ("wal-only", dict(batch_rows=16, checkpoint_every=0)),
+    ("big-batches", dict(batch_rows=64, checkpoint_every=1)),
+    ("lying-fsync", dict(batch_rows=16, checkpoint_every=2, lie_fsync=True)),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", default="7,23", help="comma-separated ingest seeds"
+    )
+    parser.add_argument("--count", type=int, default=128, help="rows per ingest")
+    parser.add_argument("--length", type=int, default=24, help="series length")
+    parser.add_argument(
+        "--crash-hit", type=int, default=2,
+        help="which arrival at the crash point fires the SIGKILL",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_crash_matrix.json", help="output artifact path"
+    )
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+
+    started = time.time()
+    cells = []
+    failures = 0
+    acked_lost = 0
+
+    with tempfile.TemporaryDirectory(prefix="crash-matrix-") as tmp:
+        for crash_point in CRASH_POINTS:
+            for layout, overrides in LAYOUTS:
+                for seed in seeds:
+                    root = (
+                        Path(tmp) / f"{crash_point}-{layout}-{seed}" / "store"
+                    )
+                    outcome = run_crash_cell(
+                        root,
+                        crash_point=crash_point,
+                        crash_hit=args.crash_hit,
+                        seed=seed,
+                        count=args.count,
+                        length=args.length,
+                        **overrides,
+                    )
+                    cell = outcome.summary()
+                    cell.update(layout=layout)
+                    cells.append(cell)
+                    if not outcome.ok:
+                        failures += 1
+                        if any("ACKED ROW LOSS" in f for f in outcome.failures):
+                            acked_lost += 1
+
+    report = {
+        "benchmark": "crash_matrix",
+        "seeds": seeds,
+        "crash_points": list(CRASH_POINTS),
+        "layouts": [label for label, _ in LAYOUTS],
+        "ingest": {"count": args.count, "length": args.length},
+        "elapsed_s": round(time.time() - started, 2),
+        "cells": cells,
+        "failures": failures,
+        "acked_rows_lost_cells": acked_lost,
+    }
+    Path(args.json).write_text(json.dumps(report, indent=2))
+
+    for cell in cells:
+        status = "PASS" if cell["ok"] else "FAIL"
+        print(
+            f"[{status}] {cell['crash_point']:>28} {cell['layout']:>12} "
+            f"seed={cell['seed']:<3} killed={int(cell['killed'])} "
+            f"acked={cell['acked']:>3} recovered={cell['recovered']:>3}"
+        )
+        for failure in cell["failures"]:
+            print(f"       !! {failure}")
+    print(
+        f"wrote {args.json} ({len(cells)} cells, {failures} failures, "
+        f"{acked_lost} with acked-row loss)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

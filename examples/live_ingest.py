@@ -1,0 +1,97 @@
+"""Live collections: durable ingest, snapshot queries, crash recovery.
+
+Run with::
+
+    python examples/live_ingest.py
+
+The walkthrough covers the growable backend end to end:
+
+1. **Create** a growable store (a directory: segment files + a write-ahead
+   log) and ingest rows in acked batches — ``extend`` returns only after the
+   batch is fsynced to the WAL, so an acked batch survives any process kill.
+2. **Checkpoint**: seal the WAL tail into a CRC-sidecar'd segment file; the
+   sequence is crash-consistent at every step (replay is idempotent).
+3. **Query while ingesting**: a built engine keeps answering during
+   ``extend`` — new rows become searchable immediately, while snapshots pin
+   a watermark and answer byte-identically to a frozen prefix.
+4. **Crash and recover**: reopen after an unclean shutdown; the
+   ``RecoveryReport`` shows rows restored from segments and the log, torn
+   bytes truncated, debris swept — and every acked row back, bit-exact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Dataset, SeriesStore, SimilaritySearchEngine
+from repro.core.growable import GrowableBackend
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    length = 64
+
+    def batch(rows: int) -> np.ndarray:
+        return np.cumsum(
+            rng.standard_normal((rows, length)), axis=1, dtype=np.float64
+        ).astype(np.float32)
+
+    with tempfile.TemporaryDirectory(prefix="live-ingest-") as tmp:
+        root = Path(tmp) / "collection.store"
+
+        # 1. Create the store and durably ingest a first collection.
+        dataset = Dataset.from_array(batch(500), name="live").to_growable(root)
+        engine = SimilaritySearchEngine(dataset)
+        engine.build("dstree", leaf_capacity=64)
+        print(f"built over {engine.store.count} rows at {root}")
+
+        # 2. Query while ingesting: each extend is acked (WAL fsync) and
+        #    bulk-inserted into the built tree before the call returns.
+        probe = batch(1)[0]
+        for _ in range(4):
+            engine.extend(batch(100))
+        result = engine.search(probe, k=3)
+        print(
+            f"count={engine.store.count}  3-NN after live extends: "
+            f"{[n.position for n in result.neighbors]}"
+        )
+
+        # 3. Snapshots pin the watermark: queries against one are identical
+        #    to a frozen store of that prefix, however much lands meanwhile.
+        snapshot = engine.store.snapshot()
+        engine.extend(batch(100))
+        frozen = SeriesStore(
+            Dataset.from_array(
+                np.asarray(snapshot.dataset.values).copy(), name="frozen"
+            )
+        )
+        print(
+            f"snapshot pinned at {snapshot.count} rows "
+            f"(store now {engine.store.count}); frozen twin agrees: "
+            f"{np.array_equal(snapshot.read_contiguous(0, snapshot.count), frozen.read_contiguous(0, frozen.count))}"
+        )
+
+        # 4. Seal the tail, then simulate an unclean shutdown: more acked
+        #    rows in the WAL, no checkpoint, no close.
+        engine.checkpoint()
+        backend = dataset.backend
+        backend.extend(batch(50))
+        backend.close()  # releases the handle; the WAL still holds the tail
+
+        reopened = GrowableBackend(root)
+        report = reopened.recovery
+        print(
+            f"reopened: {report.sealed_rows} rows from segments + "
+            f"{report.replayed_rows} replayed from the WAL "
+            f"(clean={report.clean})"
+        )
+        assert reopened.count == 1050
+        print(f"verified {reopened.verify_segments()} sealed rows against CRCs")
+        reopened.close()
+
+
+if __name__ == "__main__":
+    main()

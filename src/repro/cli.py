@@ -132,6 +132,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the compressed quantized .rcz format at this precision "
         "(requires a .rcz --out; a .rcz --out alone defaults to int8)",
     )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream rows into a growable store directory (WAL-backed, "
+        "crash-consistent: every acked batch survives a process kill)",
+    )
+    ingest.add_argument(
+        "--store",
+        required=True,
+        help="growable store directory (created when absent; reopening "
+        "replays the write-ahead log and reports what recovery found)",
+    )
+    ingest.add_argument(
+        "--count", type=int, required=True, help="rows to ingest this run"
+    )
+    ingest.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="series length (required when creating a new store; validated "
+        "against the store manifest otherwise)",
+    )
+    ingest.add_argument("--seed", type=int, default=2018, help="random seed")
+    ingest.add_argument(
+        "--batch-rows",
+        type=int,
+        default=128,
+        help="rows per extend() batch — one WAL record, one fsync, one ack",
+    )
+    ingest.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="BATCHES",
+        help="seal the tail into a segment file every N batches "
+        "(0: only at the end)",
+    )
+    ingest.add_argument(
+        "--no-final-checkpoint",
+        action="store_true",
+        help="leave the ingested tail in the WAL (recovery will replay it)",
+    )
+    ingest.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify every sealed segment against its .crc sidecar after "
+        "recovery, before ingesting",
+    )
+    ingest.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="fault spec, including write-path crash points — e.g. "
+        "'crash=kill_after_wal_write:3' SIGKILLs this process at the third "
+        "WAL fsync, and 'lie_fsync=1' models a disk that drops unsynced "
+        "writes (the crash-recovery harness drives these)",
+    )
     return parser
 
 
@@ -236,6 +293,16 @@ def _make_dataset(args: argparse.Namespace, stack: ExitStack):
         # the dequantized ones (lossy relative to the original floats).
         tmpdir = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-rcz-"))
         dataset = dataset.to_compressed(Path(tmpdir) / "dataset.rcz")
+    elif args.backend == "growable" and (
+        dataset.backend is None or dataset.backend.kind != "growable"
+    ):
+        # Generated or file datasets are re-ingested into a temporary growable
+        # store directory so the run exercises the live-collection read path
+        # (segment files + checkpointed tail) end to end.
+        tmpdir = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-growable-")
+        )
+        dataset = dataset.to_growable(Path(tmpdir) / "store")
     return dataset
 
 
@@ -424,12 +491,82 @@ def _command_synth(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace, out) -> int:
+    """Stream seeded random-walk rows into a growable store.
+
+    Every batch is one ``extend()`` call: the rows are framed into the WAL,
+    fsynced, and only then acknowledged with a flushed ``acked N`` line — the
+    contract the crash-recovery harness verifies by SIGKILLing this process at
+    seeded fault points and checking that every acked row survives reopen.
+    """
+    from .core.faults import FaultPlan
+    from .core.growable import GrowableBackend, is_growable_dir
+    from .workloads.generators import random_walk
+
+    if args.count <= 0 or args.batch_rows <= 0:
+        print("--count and --batch-rows must be positive", file=out)
+        return 2
+    try:
+        plan = FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
+    except ValueError as exc:
+        print(f"--fault-plan: {exc}", file=out)
+        return 2
+    root = Path(args.store)
+    creating = not is_growable_dir(root)
+    if creating and args.length is None:
+        print(
+            f"--store {root}: no store there yet; creating one needs an "
+            "explicit --length",
+            file=out,
+        )
+        return 2
+    try:
+        backend = GrowableBackend(
+            root, length=args.length, create=creating, plan=plan
+        )
+    except (ValueError, OSError) as exc:
+        print(f"--store {root}: {exc}", file=out)
+        return 2
+    try:
+        report = backend.recovery
+        if report is not None:
+            print(f"opened {root}: {report.describe()}", file=out, flush=True)
+        if args.verify:
+            verified = backend.verify_segments()
+            print(f"verified {verified} sealed rows", file=out, flush=True)
+        base = backend.count
+        rows = random_walk(args.count, backend.length, seed=args.seed)
+        batches = 0
+        for start in range(0, args.count, args.batch_rows):
+            total = backend.extend(rows[start : start + args.batch_rows])
+            # The ack line is the durability contract: it is only printed
+            # after the WAL fsync, and it is flushed so a SIGKILL cannot
+            # leave an acked batch stranded in a stdio buffer.
+            print(f"acked {total}", file=out, flush=True)
+            batches += 1
+            if args.checkpoint_every and batches % args.checkpoint_every == 0:
+                backend.checkpoint()
+                print(f"checkpointed {backend.count}", file=out, flush=True)
+        if not args.no_final_checkpoint:
+            backend.checkpoint()
+        print(
+            f"store {root}: {backend.count} rows "
+            f"({backend.count - base} ingested, "
+            f"{len(backend.describe().get('segments', []))} segments)",
+            file=out,
+        )
+    finally:
+        backend.close()
+    return 0
+
+
 _COMMANDS = {
     "methods": _command_methods,
     "recommend": _command_recommend,
     "run": _command_run,
     "compare": _command_compare,
     "synth": _command_synth,
+    "ingest": _command_ingest,
 }
 
 

@@ -57,7 +57,8 @@ __all__ = [
 ]
 
 #: the named backend kinds accepted wherever a backend is chosen by string.
-BACKEND_KINDS = ("memory", "mmap", "compressed")
+#: ``growable`` (repro.core.growable) is the WAL-backed live-ingest backend.
+BACKEND_KINDS = ("memory", "mmap", "compressed", "growable")
 
 
 def touch_pages(array: np.ndarray) -> None:
@@ -796,5 +797,13 @@ def resolve_backend(dataset, backend=None) -> StorageBackend:
         raise ValueError(
             "the compressed backend needs a .rcz-backed dataset; convert with "
             "Dataset.to_compressed() or open one with Dataset.from_file()"
+        )
+    if kind == "growable":
+        if attached is not None and attached.kind == "growable":
+            return attached
+        raise ValueError(
+            "the growable backend needs a store-directory-backed dataset; "
+            "open one with Dataset.from_file() or spill with "
+            "Dataset.to_growable() first"
         )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}")

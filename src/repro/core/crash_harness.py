@@ -1,0 +1,255 @@
+"""Subprocess crash harness: SIGKILL a live ingest and audit what survives.
+
+The durability contract of the growable store is process-level, so it can only
+be tested process-level: a child process runs ``python -m repro ingest``
+against a store directory with a seeded fault plan that SIGKILLs it at a
+chosen crash point (mid-WAL-write, mid-checkpoint, before the WAL truncate,
+...).  The parent reads the child's flushed ``acked N`` lines — each printed
+only after the WAL fsync — then reopens the store and audits the recovery:
+
+- **acked rows are durable**: every row the child acknowledged is present;
+- **no fabricated rows**: anything beyond the last ack is at most the one
+  record that was in flight, lands on a record boundary, and is bit-identical
+  to what the child was sending (both sides regenerate the same seeded
+  random-walk matrix, so equality is exact, not statistical);
+- **the store stays usable**: the survivor can keep ingesting, checkpoint,
+  and pass a full segment-checksum verification.
+
+``lie_fsync`` models a device that drops unsynced writes: the child's WAL
+skips its fsyncs, so the SIGKILL produces genuinely torn tails that recovery
+must truncate (never raise through).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .faults import CRASH_POINTS
+from .growable import GrowableBackend
+
+__all__ = ["CrashOutcome", "ingest_child_argv", "run_crash_cell"]
+
+_ACK_PREFIX = "acked "
+
+
+@dataclass
+class CrashOutcome:
+    """What one kill-and-recover cell observed and concluded."""
+
+    crash_point: str
+    seed: int
+    killed: bool  #: the child died by SIGKILL (the crash point actually fired)
+    acked_rows: int  #: highest ``acked N`` the child printed before dying
+    recovered_rows: int  #: rows visible after reopening the store
+    sent_rows: int  #: rows the child would have ingested uninterrupted
+    torn_bytes: int  #: WAL bytes recovery truncated as a torn tail
+    report: dict = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        return {
+            "crash_point": self.crash_point,
+            "seed": self.seed,
+            "killed": self.killed,
+            "acked": self.acked_rows,
+            "recovered": self.recovered_rows,
+            "sent": self.sent_rows,
+            "torn_bytes": self.torn_bytes,
+            "ok": self.ok,
+            "failures": list(self.failures),
+        }
+
+
+def ingest_child_argv(
+    store: Path,
+    *,
+    count: int,
+    length: int,
+    seed: int,
+    batch_rows: int,
+    checkpoint_every: int = 0,
+    fault_spec: str = "",
+) -> list[str]:
+    """The ``python -m repro ingest`` command line for a harness child."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "ingest",
+        "--store",
+        str(store),
+        "--count",
+        str(count),
+        "--length",
+        str(length),
+        "--seed",
+        str(seed),
+        "--batch-rows",
+        str(batch_rows),
+    ]
+    if checkpoint_every:
+        argv += ["--checkpoint-every", str(checkpoint_every)]
+    if fault_spec:
+        argv += ["--fault-plan", fault_spec]
+    return argv
+
+
+def _child_env() -> dict:
+    """The child's environment, with this library importable."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    # A stray ambient plan would stack a second fault layer under the child.
+    env.pop("REPRO_FAULT_PLAN", None)
+    return env
+
+
+def _last_ack(stdout: str) -> int:
+    acked = 0
+    for line in stdout.splitlines():
+        if line.startswith(_ACK_PREFIX):
+            acked = int(line[len(_ACK_PREFIX) :])
+    return acked
+
+
+def run_crash_cell(
+    root: str | Path,
+    *,
+    crash_point: str,
+    crash_hit: int = 1,
+    seed: int = 2018,
+    count: int = 256,
+    length: int = 32,
+    batch_rows: int = 32,
+    checkpoint_every: int = 0,
+    lie_fsync: bool = False,
+    timeout: float = 120.0,
+) -> CrashOutcome:
+    """Kill one seeded ingest at ``crash_point`` and audit the recovery.
+
+    ``root`` must not already hold a store — each cell owns a fresh
+    directory so the acked/recovered accounting starts from zero.  Returns a
+    :class:`CrashOutcome`; ``outcome.ok`` is the verdict and
+    ``outcome.failures`` names every violated guarantee.
+    """
+    if crash_point not in CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {crash_point!r} (expected one of {CRASH_POINTS})"
+        )
+    root = Path(root)
+    fault_spec = f"crash={crash_point}:{crash_hit}"
+    if lie_fsync:
+        fault_spec += ",lie_fsync=1"
+    argv = ingest_child_argv(
+        root,
+        count=count,
+        length=length,
+        seed=seed,
+        batch_rows=batch_rows,
+        checkpoint_every=checkpoint_every,
+        fault_spec=fault_spec,
+    )
+    proc = subprocess.run(
+        argv, capture_output=True, text=True, timeout=timeout, env=_child_env()
+    )
+    killed = proc.returncode == -signal.SIGKILL
+    acked = _last_ack(proc.stdout)
+
+    outcome = CrashOutcome(
+        crash_point=crash_point,
+        seed=seed,
+        killed=killed,
+        acked_rows=acked,
+        recovered_rows=0,
+        sent_rows=count,
+        torn_bytes=0,
+    )
+    if not killed and proc.returncode != 0:
+        outcome.failures.append(
+            f"child exited {proc.returncode} without being killed: "
+            f"{proc.stderr.strip()[-500:]}"
+        )
+        return outcome
+
+    try:
+        backend = GrowableBackend(root)
+    except Exception as exc:  # CorruptionError here is itself the failure
+        outcome.failures.append(f"reopen after crash raised {exc!r}")
+        return outcome
+    try:
+        report = backend.recovery
+        outcome.report = report.describe()
+        outcome.torn_bytes = report.torn_bytes
+        recovered = backend.count
+        outcome.recovered_rows = recovered
+
+        if recovered < acked and not lie_fsync:
+            # With honest fsyncs every acked row must survive.  Under
+            # lie_fsync the device drops unsynced writes, so acked rows CAN
+            # be lost by design — those cells assert prefix-consistency
+            # (boundary, bit-exactness, usability) instead of durability.
+            outcome.failures.append(
+                f"ACKED ROW LOSS: child acked {acked} rows, only "
+                f"{recovered} survived recovery"
+            )
+        if recovered > count:
+            outcome.failures.append(
+                f"recovered {recovered} rows but the child only ever sent "
+                f"{count}"
+            )
+        if recovered - acked > batch_rows:
+            outcome.failures.append(
+                f"recovered {recovered} rows with only {acked} acked: more "
+                f"than one in-flight record ({batch_rows} rows) materialized"
+            )
+        if recovered % batch_rows != 0 and recovered != count:
+            outcome.failures.append(
+                f"recovered {recovered} rows, which is not a record boundary "
+                f"(batch {batch_rows}): a torn record became visible"
+            )
+
+        # Bit-exactness: the child ingested a prefix of this exact matrix.
+        expected = random_walk_matrix(count, length, seed)
+        if recovered and not np.array_equal(
+            np.asarray(backend.values[:recovered]), expected[:recovered]
+        ):
+            outcome.failures.append(
+                "recovered rows are not bit-identical to the acked prefix"
+            )
+
+        # Survivor usability: keep ingesting where the crash left off,
+        # checkpoint, and verify every sealed byte.
+        if recovered < count:
+            backend.extend(expected[recovered:count])
+        backend.checkpoint()
+        verified = backend.verify_segments()
+        if verified != count:
+            outcome.failures.append(
+                f"post-recovery verify covered {verified} rows, expected {count}"
+            )
+        if not np.array_equal(np.asarray(backend.values), expected):
+            outcome.failures.append(
+                "store contents diverged after post-recovery ingest"
+            )
+    finally:
+        backend.close()
+    return outcome
+
+
+def random_walk_matrix(count: int, length: int, seed: int) -> np.ndarray:
+    """The exact matrix a harness child ingests (shared so both sides agree)."""
+    from ..workloads.generators import random_walk
+
+    return random_walk(count, length, seed=seed)

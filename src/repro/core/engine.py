@@ -143,6 +143,29 @@ class SimilaritySearchEngine:
             workload_queries=workload_queries,
         )
 
+    # -- live ingest ---------------------------------------------------------------
+    def extend(self, rows: np.ndarray, *, checkpoint: bool = False) -> int:
+        """Durably ingest ``rows`` and make them searchable; returns the new count.
+
+        The rows are acked (fsynced to the store's write-ahead log) before the
+        call returns, then bulk-inserted into the built method — queries
+        issued afterwards see them, queries already running do not (they read
+        through their snapshot).  Requires a growable store
+        (``Dataset.to_growable`` / ``--backend growable``).  With
+        ``checkpoint=True`` the tail is also sealed into a segment file.
+        """
+        old_count = self.store.count
+        new_count = self.store.extend(rows)
+        if self.method is not None and self.method.is_built:
+            self.method.extend(old_count, new_count)
+        if checkpoint:
+            self.store.checkpoint()
+        return new_count
+
+    def checkpoint(self) -> int:
+        """Seal ingested rows into segment files (growable stores only)."""
+        return self.store.checkpoint()
+
     # -- querying ---------------------------------------------------------------------
     def search(
         self,

@@ -36,6 +36,7 @@ store the process creates.
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass, fields, replace
@@ -48,15 +49,65 @@ from .integrity import CorruptionError
 
 __all__ = [
     "FAULT_PLAN_ENV",
+    "CRASH_POINTS",
     "TransientIOError",
     "FaultPlan",
     "FaultInjectingBackend",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
+    "crash_point",
+    "reset_crash_counters",
 ]
 
 #: environment variable holding a fault-plan spec applied to every new store.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: named process-kill sites on the ingest write path (WAL + checkpoint).
+#: A plan with ``crash="kill_after_wal_write"`` SIGKILLs the process the
+#: ``crash_hit``-th time execution reaches that point — modeling a power cut
+#: at exactly that instant.  The crash-recovery harness drives an ingesting
+#: child through each of these and asserts that reopening the store restores
+#: every acked row bit-exact.
+CRASH_POINTS = (
+    # after the WAL record is written + fsynced, before the ack returns
+    "kill_after_wal_write",
+    # after the record bytes are buffered, before flush/fsync (torn tail)
+    "kill_before_wal_fsync",
+    # mid segment write during checkpoint (orphaned .tmp left behind)
+    "kill_mid_checkpoint",
+    # segment sealed, manifest not yet updated (orphaned segment file)
+    "kill_after_checkpoint_segment",
+    # manifest updated, WAL not yet truncated (replay must be idempotent)
+    "kill_before_wal_truncate",
+)
+
+#: per-process hit counters for crash points.  Module-global (not on the
+#: frozen plan) — safe because reaching the configured hit kills the process.
+_crash_hits: dict[str, int] = {}
+_crash_lock = threading.Lock()
+
+
+def reset_crash_counters() -> None:
+    """Forget crash-point hit counts (test isolation within one process)."""
+    with _crash_lock:
+        _crash_hits.clear()
+
+
+def crash_point(plan: "FaultPlan | None", name: str) -> None:
+    """SIGKILL the current process if ``plan`` schedules a crash at ``name``.
+
+    The ``crash_hit``-th arrival at the named point dies; earlier arrivals
+    pass through.  SIGKILL (not ``sys.exit``) so no ``finally:`` blocks,
+    ``atexit`` hooks, or buffered writes soften the crash — exactly what a
+    power cut looks like to the files underneath.
+    """
+    if plan is None or not plan.crash or plan.crash != name:
+        return
+    with _crash_lock:
+        hit = _crash_hits.get(name, 0) + 1
+        _crash_hits[name] = hit
+    if hit >= int(plan.crash_hit):
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 class TransientIOError(IOError):
@@ -87,6 +138,15 @@ class FaultPlan:
     region_rows: int = 64
     #: a faulty site fails at most this many consecutive attempts.
     max_failures: int = 3
+    #: named crash point (one of :data:`CRASH_POINTS`) — SIGKILL the process
+    #: on the ``crash_hit``-th arrival.  Empty string disables crashing.
+    crash: str = ""
+    #: which arrival at the crash point dies (1 = the first).
+    crash_hit: int = 1
+    #: pretend ``fsync`` succeeded without flushing (a lying disk / volatile
+    #: write cache): WAL appends skip flush+fsync, so a SIGKILL genuinely
+    #: loses userspace-buffered bytes and recovery sees real torn tails.
+    lie_fsync: int = 0
 
     def __post_init__(self) -> None:
         for name in ("transient", "latency", "truncate", "corrupt"):
@@ -97,6 +157,12 @@ class FaultPlan:
             raise ValueError("region_rows must be positive")
         if int(self.max_failures) <= 0:
             raise ValueError("max_failures must be positive")
+        if self.crash and self.crash not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.crash!r}; expected one of {CRASH_POINTS}"
+            )
+        if int(self.crash_hit) < 1:
+            raise ValueError("crash_hit must be at least 1")
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
@@ -115,9 +181,16 @@ class FaultPlan:
                 raise ValueError(
                     f"unknown fault-plan key {key!r}; expected one of {sorted(known)}"
                 )
-            updates[key] = (
-                int(value) if key in ("seed", "region_rows", "max_failures") else float(value)
-            )
+            if key == "crash":
+                # "crash=kill_after_wal_write:3" folds the hit count in.
+                if ":" in value:
+                    value, _, hit = value.partition(":")
+                    updates["crash_hit"] = int(hit)
+                updates[key] = value.strip()
+            elif key in ("seed", "region_rows", "max_failures", "crash_hit", "lie_fsync"):
+                updates[key] = int(value)
+            else:
+                updates[key] = float(value)
         return replace(plan, **updates)
 
     @classmethod

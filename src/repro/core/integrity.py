@@ -194,7 +194,9 @@ def write_manifest(data_path, *, block_rows: int, count: int, length: int, crcs)
         _MAGIC, _MANIFEST_VERSION, 0, int(block_rows), int(count), int(length)
     ) + table.tobytes()
     body += struct.pack("<I", checksum(body))  # self-digest guards the sidecar
-    tmp = sidecar.with_name(sidecar.name + ".tmp")
+    from .series import unique_tmp_path
+
+    tmp = unique_tmp_path(sidecar)
     with open(tmp, "wb") as handle:
         handle.write(body)
     os.replace(tmp, sidecar)
@@ -231,10 +233,24 @@ def load_manifest(data_path) -> ChecksumManifest:
     return ChecksumManifest(data_path, block_rows, count, length, table)
 
 
-# Manifests are cached process-wide keyed by (realpath, mtime, size): forked
-# and sliced stores resolve to the *same* object, sharing its verified-set.
+# Manifests are cached process-wide keyed by (realpath, mtime, size, content
+# digest): forked and sliced stores resolve to the *same* object, sharing its
+# verified-set.  The digest — the sidecar's trailing self-CRC, a 4-byte read —
+# is what keeps the key honest when a checkpoint legitimately rewrites a file
+# at identical size within the filesystem's mtime granularity: (path, mtime,
+# size) alone would collide and serve the stale generation's checksums.
 _MANIFESTS: dict[tuple, ChecksumManifest] = {}
 _MANIFESTS_LOCK = threading.Lock()
+
+
+def _sidecar_digest(sidecar: Path) -> bytes:
+    """The sidecar's trailing self-CRC bytes (its content fingerprint)."""
+    try:
+        with open(sidecar, "rb") as handle:
+            handle.seek(-4, os.SEEK_END)
+            return handle.read(4)
+    except OSError:
+        return b""
 
 
 def manifest_for(data_path) -> ChecksumManifest | None:
@@ -245,7 +261,7 @@ def manifest_for(data_path) -> ChecksumManifest | None:
     except OSError:
         return None
     real = os.path.realpath(sidecar)
-    key = (real, stat.st_mtime_ns, stat.st_size)
+    key = (real, stat.st_mtime_ns, stat.st_size, _sidecar_digest(sidecar))
     with _MANIFESTS_LOCK:
         cached = _MANIFESTS.get(key)
     if cached is not None:

@@ -40,11 +40,14 @@ __all__ = [
 ]
 
 #: version 2 added the ``storage`` provenance block; version 3 added the
-#: ``state_checksum`` over the pickled method state.  Older files still load
+#: ``state_checksum`` over the pickled method state; version 4 records live
+#: (growable) stores — the segment manifest, WAL size, and the committed-row
+#: *watermark* at save time, so a reloaded index reopens exactly the prefix
+#: it was built over even if the store kept growing.  Older files still load
 #: (version-1 files cannot re-open their dataset; pre-3 files skip the
 #: payload-integrity check because no digest was recorded).
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 class DatasetFileError(ValueError):
@@ -157,6 +160,19 @@ def _check_dataset_file(source: str, storage: dict) -> None:
     """
     kind = str(storage.get("kind") or "")
     file = Path(source)
+    if kind == "growable":
+        # The source is a store *directory*; its manifest is the anchor.
+        from .growable import MANIFEST_NAME
+
+        if not file.is_dir() or not (file / MANIFEST_NAME).exists():
+            raise DatasetFileError(
+                f"recorded growable store not found: {source} (no "
+                f"{MANIFEST_NAME}); the index is valid but its store "
+                "directory moved or was deleted",
+                path=str(source),
+                kind=kind,
+            )
+        return
     if not file.is_file():
         raise DatasetFileError(
             f"recorded dataset file not found: {source} (backend {kind!r}); "
@@ -246,7 +262,19 @@ def load_method(
         # quantization geometry coming from the .rcz header itself).
         from .backends import CompressedBackend, MmapBackend
 
-        if storage.get("kind") == "compressed":
+        if storage.get("kind") == "growable":
+            from .growable import GrowableBackend
+
+            # Pin the watermark recorded at save time: rows ingested since
+            # then must stay invisible or the fingerprint check would reject
+            # the reopened store.
+            backend = GrowableBackend(
+                source,
+                length=storage.get("length"),
+                start=storage.get("start", 0),
+                stop=storage.get("stop"),
+            )
+        elif storage.get("kind") == "compressed":
             backend = CompressedBackend(
                 source,
                 start=storage.get("start", 0),

@@ -37,7 +37,7 @@ from pathlib import Path
 import numpy as np
 
 from . import integrity
-from .series import SERIES_DTYPE
+from .series import SERIES_DTYPE, unique_tmp_path
 
 __all__ = [
     "RCZ_SUFFIX",
@@ -274,7 +274,7 @@ class CompressedFileWriter:
         # Stream into a sibling temp file; close() finalizes it into place
         # atomically, so an interrupted writer never leaves a file that
         # parses as valid (readers see either nothing or the complete file).
-        self._tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self._tmp_path = unique_tmp_path(self.path)
         self._handle = open(self._tmp_path, "wb")
         self._handle.write(b"\x00" * _HEADER.size)  # placeholder, patched on close
 

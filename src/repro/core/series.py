@@ -25,6 +25,7 @@ __all__ = [
     "Dataset",
     "SeriesFileWriter",
     "write_series_file",
+    "unique_tmp_path",
 ]
 
 #: dtype used for every series in the library (the paper uses single precision).
@@ -33,6 +34,23 @@ SERIES_DTYPE = np.float32
 #: file suffixes treated as headerless raw little-endian float32 row data
 #: (anything else is read/written as a standard ``.npy`` array file).
 RAW_SUFFIXES = (".f32", ".raw", ".bin")
+
+
+def unique_tmp_path(path: str | Path) -> Path:
+    """A collision-proof ``.tmp`` sibling for an atomic write of ``path``.
+
+    The name embeds the writer's pid plus a random token, so a writer whose
+    process died before ``abandon()`` could run can never collide with — or
+    be mistaken for — a live writer targeting the same file.  Orphans keep
+    the ``.tmp`` suffix so recovery sweeps
+    (:func:`repro.core.growable.sweep_orphaned_tmp`) find them.
+    """
+    import secrets
+
+    path = Path(path)
+    return path.with_name(
+        f"{path.name}.{os.getpid()}-{secrets.token_hex(4)}.tmp"
+    )
 
 
 def znormalize(series: np.ndarray, epsilon: float = 1e-8) -> np.ndarray:
@@ -139,6 +157,10 @@ class Dataset:
     @property
     def values(self) -> np.ndarray:
         if self._values is None:
+            if getattr(self.backend, "mutable", False):
+                # A live (growable) backend's row count still changes; serve
+                # its current values without pinning a stale materialization.
+                return self.backend.values
             self._values = self.backend.values
         return self._values
 
@@ -234,10 +256,13 @@ class Dataset:
 
         ``path`` is a ``.npy`` array file, a headerless raw little-endian
         float32 file (``.f32``/``.raw``/``.bin``, which require ``length``),
-        or a compressed quantized-block file (``.rcz``, written by
-        :meth:`to_compressed`).  With ``mmap=True`` (the default) the returned
-        dataset serves reads lazily through an attached backend
-        (:class:`~repro.core.backends.MmapBackend` or
+        a compressed quantized-block file (``.rcz``, written by
+        :meth:`to_compressed`), or a growable store *directory* (created by
+        :meth:`to_growable` or live ingest) — opening the latter runs crash
+        recovery and attaches a
+        :class:`~repro.core.growable.GrowableBackend`.  With ``mmap=True``
+        (the default) the returned dataset serves reads lazily through an
+        attached backend (:class:`~repro.core.backends.MmapBackend` or
         :class:`~repro.core.backends.CompressedBackend`), so every store built
         on it runs out-of-core; ``mmap=False`` materializes the file into RAM
         (an ordinary in-memory dataset).
@@ -245,7 +270,11 @@ class Dataset:
         from .backends import CompressedBackend, MmapBackend
         from .quantize import RCZ_SUFFIX
 
-        if Path(path).suffix.lower() == RCZ_SUFFIX:
+        if Path(path).is_dir():
+            from .growable import GrowableBackend
+
+            backend = GrowableBackend(path, length=length)
+        elif Path(path).suffix.lower() == RCZ_SUFFIX:
             backend = CompressedBackend(path)
             if length is not None and backend.length != int(length):
                 raise ValueError(
@@ -253,7 +282,10 @@ class Dataset:
                 )
         else:
             backend = MmapBackend(path, length=length)
-        meta = {"source_path": str(Path(path)), "format": backend.describe()["format"]}
+        meta = {
+            "source_path": str(Path(path)),
+            "format": backend.describe().get("format", backend.kind),
+        }
         meta.update(metadata or {})
         if not mmap:
             return cls(
@@ -322,6 +354,33 @@ class Dataset:
                 writer.append(chunk)
         return Dataset.from_file(
             path,
+            name=self.name,
+            normalized=self.normalized,
+            metadata=dict(self.metadata),
+        )
+
+    def to_growable(
+        self, path: str | Path, *, checkpoint: bool = True
+    ) -> "Dataset":
+        """Spill the collection into a growable store directory at ``path``.
+
+        Rows are ingested through the WAL (so the written store carries the
+        full durability contract from its first byte) and, with
+        ``checkpoint=True``, sealed into segment files so the log starts
+        empty.  The returned dataset is the store reopened live — extendable
+        via :meth:`SeriesStore.extend <repro.core.storage.SeriesStore>`.
+        """
+        from .growable import GrowableBackend
+
+        backend = GrowableBackend(path, length=self.length, create=True)
+        for chunk in self._iter_chunks():
+            backend.extend(chunk)
+        if checkpoint:
+            backend.checkpoint()
+        backend.close()
+        return Dataset.from_file(
+            path,
+            length=self.length,
             name=self.name,
             normalized=self.normalized,
             metadata=dict(self.metadata),
@@ -419,7 +478,7 @@ class SeriesFileWriter:
         self._count = 0
         self._is_npy = self.path.suffix.lower() not in RAW_SUFFIXES
         self._crc = ChecksumAccumulator() if checksums else None
-        self._tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self._tmp_path = unique_tmp_path(self.path)
         self._handle = open(self._tmp_path, "wb")
         if self._is_npy:
             # Placeholder preamble; rewritten with the final count on close.

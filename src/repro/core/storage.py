@@ -34,7 +34,7 @@ from .faults import (
     TransientIOError,
 )
 from .integrity import SequentialVerifier, verify_positions, verify_row_range
-from .series import Dataset
+from .series import SERIES_DTYPE, Dataset
 from .stats import AccessCounter
 
 __all__ = ["SeriesStore", "DEFAULT_PAGE_BYTES"]
@@ -108,6 +108,11 @@ class SeriesStore:
             faults = FaultPlan.from_env()
         if faults is not None and not isinstance(resolved, FaultInjectingBackend):
             resolved = FaultInjectingBackend(resolved, faults)
+            # The write path's crash points live inside the WAL/checkpoint
+            # sequence; growable backends take the plan directly.
+            set_plan = getattr(resolved.inner, "set_fault_plan", None)
+            if set_plan is not None:
+                set_plan(faults)
         self.backend = resolved
         self.faults = resolved.plan if isinstance(resolved, FaultInjectingBackend) else None
         self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
@@ -519,11 +524,61 @@ class SeriesStore:
         info["page_bytes"] = self.page_bytes
         return info
 
+    # -- live ingest -----------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """The committed row count — what :meth:`snapshot` would pin now."""
+        backend = getattr(self.backend, "inner", self.backend)
+        return int(getattr(backend, "watermark", self.count))
+
+    def extend(self, rows) -> int:
+        """Durably append ``rows`` (growable backends only); returns the new count.
+
+        The call acks — returns — only after the rows are fsynced to the
+        write-ahead log; a crash after the return can never lose them.
+        Running queries are unaffected: they read through snapshots or the
+        pre-extend layout, both immutable.
+        """
+        backend = getattr(self.backend, "inner", self.backend)
+        extend = getattr(backend, "extend", None)
+        if extend is None:
+            raise ValueError(
+                f"the {self.backend.kind!r} backend is frozen; live ingest "
+                "needs backend='growable' (see Dataset.to_growable)"
+            )
+        data = np.atleast_2d(np.asarray(rows, dtype=SERIES_DTYPE))
+        new_count = extend(data)
+        self.counter.bytes_written += int(data.nbytes)
+        return int(new_count)
+
+    def checkpoint(self) -> int:
+        """Seal the growable tail into a segment file; returns rows sealed."""
+        backend = getattr(self.backend, "inner", self.backend)
+        checkpoint = getattr(backend, "checkpoint", None)
+        if checkpoint is None:
+            raise ValueError(
+                f"the {self.backend.kind!r} backend has no checkpoint; live "
+                "ingest needs backend='growable'"
+            )
+        return int(checkpoint())
+
+    def snapshot(self, name: str | None = None) -> "SeriesStore":
+        """A store pinned to the current committed row count (zero-copy).
+
+        Rows are immutable once acked and the count only grows, so slicing
+        ``[0, watermark)`` *is* a consistent snapshot: queries against it are
+        byte-identical to querying a frozen store of that prefix, no matter
+        how many :meth:`extend` calls land while they run.  For frozen
+        backends this is simply a full-range slice.
+        """
+        stop = self.watermark
+        return self.slice(0, stop, name=name or f"{self.dataset.name}@{stop}")
+
     # -- bookkeeping -----------------------------------------------------------
     def reset_counters(self) -> None:
         self.counter.reset()
 
-    def snapshot(self) -> AccessCounter:
+    def counter_snapshot(self) -> AccessCounter:
         return self.counter.snapshot()
 
     def since(self, snapshot: AccessCounter) -> AccessCounter:

@@ -1,0 +1,303 @@
+"""Write-ahead log for the growable backend's ingest path.
+
+Durability contract: :meth:`WriteAheadLog.append` returns only after the
+CRC-framed record holding the new rows has been written *and fsynced* — a
+caller who has seen ``append`` return ("acked" rows) is guaranteed to find
+those rows again after any process kill or power cut.  Rows whose append was
+in flight when the process died either survive whole (the record made it to
+disk intact) or vanish whole (a torn tail, truncated on recovery); a record
+is never half-applied, so the recovered store is always an exact prefix of
+the acked-row sequence at a record boundary.
+
+File layout — one header, then back-to-back records::
+
+    header  <4s H H I I I>   magic RWAL, version, pad, series length,
+                             reserved, CRC of the preceding 20 bytes
+    record  <I Q I I>        row count m, absolute start row, CRC of the
+                             m*length*4 payload bytes, CRC of the preceding
+                             16 header bytes
+            payload          m rows of float32, C-order
+
+Everything is little-endian.  The absolute start row in each record makes
+replay idempotent: records whose rows are already sealed into segments (the
+checkpoint ran but the truncate did not) are skipped, so a crash *anywhere*
+in the checkpoint sequence recovers cleanly.
+
+:meth:`replay` never raises for a clean torn tail — a partially-written
+final record is expected crash debris, reported in the
+:class:`RecoveryReport` and truncated away.  It *does* raise
+:class:`~repro.core.integrity.CorruptionError` for a damaged header or a
+record that fails its CRC *before* intact later records, which indicates
+damage at rest rather than a crash.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .faults import FaultPlan, crash_point
+from .integrity import CorruptionError, checksum
+
+__all__ = ["WriteAheadLog", "RecoveryReport", "WAL_SUFFIX"]
+
+WAL_SUFFIX = ".wal"
+
+_MAGIC = b"RWAL"
+_VERSION = 1
+#: magic, version, pad, series length, reserved, self-CRC
+_HEADER = struct.Struct("<4sHHIII")
+#: rows, absolute start row, payload CRC, header CRC
+_RECORD = struct.Struct("<IQII")
+
+_DTYPE = np.dtype("<f4")
+
+
+@dataclass
+class RecoveryReport:
+    """What opening a growable store found and did.  Never an exception for
+    expected crash debris — a clean torn tail or orphaned temp files are
+    normal aftermath, and this report is how they surface to the caller."""
+
+    #: rows restored from sealed segments (the manifest's row count).
+    sealed_rows: int = 0
+    #: WAL records replayed into the tail buffer.
+    replayed_records: int = 0
+    #: rows those records carried.
+    replayed_rows: int = 0
+    #: records skipped because their rows were already sealed (a checkpoint
+    #: completed but the process died before truncating the log).
+    skipped_records: int = 0
+    #: bytes of torn tail discarded from the end of the WAL.
+    torn_bytes: int = 0
+    #: why the tail was considered torn ("" when the log ended cleanly).
+    torn_reason: str = ""
+    #: orphaned ``*.tmp`` files swept during open.
+    swept_tmp: list[str] = field(default_factory=list)
+    #: sealed segment files present but absent from the manifest (a crash
+    #: between segment seal and manifest update), removed during open.
+    swept_segments: list[str] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        return self.sealed_rows + self.replayed_rows
+
+    @property
+    def clean(self) -> bool:
+        """True when open found no crash debris at all."""
+        return not (
+            self.torn_bytes
+            or self.skipped_records
+            or self.swept_tmp
+            or self.swept_segments
+        )
+
+    def describe(self) -> dict:
+        return {
+            "sealed_rows": self.sealed_rows,
+            "replayed_records": self.replayed_records,
+            "replayed_rows": self.replayed_rows,
+            "skipped_records": self.skipped_records,
+            "torn_bytes": self.torn_bytes,
+            "torn_reason": self.torn_reason,
+            "swept_tmp": list(self.swept_tmp),
+            "swept_segments": list(self.swept_segments),
+            "total_rows": self.total_rows,
+            "clean": self.clean,
+        }
+
+
+class WriteAheadLog:
+    """CRC-framed, fsync-acked append log of float32 row batches.
+
+    One instance owns the append handle; replay/truncate reopen as needed.
+    Not thread-safe by itself — the growable backend serializes writers.
+    """
+
+    def __init__(
+        self, path: Path | str, length: int, *, plan: FaultPlan | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.length = int(length)
+        self.plan = plan
+        self._handle: io.BufferedWriter | None = None
+
+    # -- append path -----------------------------------------------------------
+    def _ensure_open(self) -> io.BufferedWriter:
+        if self._handle is None:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._handle.write(self._header_bytes())
+                self._sync()
+        return self._handle
+
+    def _header_bytes(self) -> bytes:
+        head = _HEADER.pack(_MAGIC, _VERSION, 0, self.length, 0, 0)[:-4]
+        return head + struct.pack("<I", checksum(head))
+
+    def _sync(self) -> None:
+        """Flush + fsync — unless the plan models a lying disk."""
+        assert self._handle is not None
+        if self.plan is not None and self.plan.lie_fsync:
+            return  # buffered bytes are genuinely lost if the process dies
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, rows: np.ndarray, start_row: int) -> None:
+        """Durably log ``rows`` as one record starting at ``start_row``.
+
+        Returns only after fsync — the ack the durability contract is built
+        on.  A crash before the return leaves either an intact record
+        (recovered) or a torn tail (discarded); never a partial batch.
+        """
+        data = np.ascontiguousarray(rows, dtype=_DTYPE)
+        if data.ndim != 2 or data.shape[1] != self.length:
+            raise ValueError(
+                f"WAL rows must be (m, {self.length}); got {data.shape}"
+            )
+        if data.shape[0] == 0:
+            return
+        payload = data.tobytes()
+        head = _RECORD.pack(data.shape[0], int(start_row), checksum(payload), 0)[:-4]
+        frame = head + struct.pack("<I", checksum(head)) + payload
+        handle = self._ensure_open()
+        handle.write(frame)
+        crash_point(self.plan, "kill_before_wal_fsync")
+        self._sync()
+        crash_point(self.plan, "kill_after_wal_write")
+
+    # -- recovery path ---------------------------------------------------------
+    def replay(
+        self, *, repair: bool = True
+    ) -> tuple[list[tuple[int, np.ndarray]], RecoveryReport]:
+        """Read back every intact record; truncate any torn tail.
+
+        Returns ``([(start_row, rows), ...], report)`` in log order.  With
+        ``repair=False`` (read-only reopen, e.g. an unpickled slice in
+        another process) the torn tail is still *ignored* but the file is
+        left untouched — only the owning writer repairs.
+        """
+        report = RecoveryReport()
+        if not self.path.exists():
+            return [], report
+        raw = self.path.read_bytes()
+        if len(raw) == 0:
+            return [], report
+        if len(raw) < _HEADER.size:
+            # Shorter than one header: a writer died creating the log.
+            report.torn_bytes = len(raw)
+            report.torn_reason = "short header"
+            if repair:
+                self._truncate_to(0)
+            return [], report
+        magic, version, _, length, _, crc = _HEADER.unpack_from(raw, 0)
+        if magic != _MAGIC or crc != checksum(raw[: _HEADER.size - 4]):
+            raise CorruptionError(f"WAL header damaged in {self.path}")
+        if version != _VERSION:
+            raise CorruptionError(
+                f"WAL version {version} unsupported (expected {_VERSION})"
+            )
+        if length != self.length:
+            raise CorruptionError(
+                f"WAL series length {length} != store length {self.length}"
+            )
+
+        records: list[tuple[int, np.ndarray]] = []
+        offset = _HEADER.size
+        row_bytes = self.length * _DTYPE.itemsize
+        while offset < len(raw):
+            if offset + _RECORD.size > len(raw):
+                report.torn_reason = "short record header"
+                break
+            m, start_row, payload_crc, head_crc = _RECORD.unpack_from(raw, offset)
+            if head_crc != checksum(raw[offset : offset + _RECORD.size - 4]):
+                report.torn_reason = "record header CRC mismatch"
+                break
+            body_lo = offset + _RECORD.size
+            body_hi = body_lo + m * row_bytes
+            if body_hi > len(raw):
+                report.torn_reason = "short payload"
+                break
+            if payload_crc != checksum(raw[body_lo:body_hi]):
+                report.torn_reason = "payload CRC mismatch"
+                break
+            rows = np.frombuffer(raw[body_lo:body_hi], dtype=_DTYPE).reshape(
+                m, self.length
+            )
+            records.append((int(start_row), rows))
+            offset = body_hi
+        if offset < len(raw):
+            # Torn tail.  Intact records *after* the damage mean this is not
+            # crash debris but damage at rest — refuse to silently drop data.
+            if self._intact_record_beyond(raw, offset):
+                raise CorruptionError(
+                    f"WAL record damaged mid-log in {self.path} "
+                    f"({report.torn_reason} at byte {offset})"
+                )
+            report.torn_bytes = len(raw) - offset
+            if repair:
+                self._truncate_to(offset)
+        report.replayed_records = len(records)
+        report.replayed_rows = sum(r.shape[0] for _, r in records)
+        return records, report
+
+    def _intact_record_beyond(self, raw: bytes, damaged_at: int) -> bool:
+        """Scan past damage for a framed record that still checks out."""
+        row_bytes = self.length * _DTYPE.itemsize
+        offset = damaged_at + 1
+        limit = len(raw) - _RECORD.size
+        while offset <= limit:
+            m, _, payload_crc, head_crc = _RECORD.unpack_from(raw, offset)
+            if head_crc == checksum(raw[offset : offset + _RECORD.size - 4]) and m:
+                body_lo = offset + _RECORD.size
+                body_hi = body_lo + m * row_bytes
+                if body_hi <= len(raw) and payload_crc == checksum(
+                    raw[body_lo:body_hi]
+                ):
+                    return True
+            offset += 1
+        return False
+
+    def _truncate_to(self, size: int) -> None:
+        self.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(size)
+            os.fsync(handle.fileno())
+
+    def truncate(self) -> None:
+        """Reset the log to an empty (header-only) state, durably."""
+        self.close()
+        with open(self.path, "wb") as handle:
+            handle.write(self._header_bytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        if self._handle is not None:
+            self._handle.flush()
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

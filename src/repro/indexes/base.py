@@ -173,7 +173,7 @@ class SearchMethod(abc.ABC):
     # -- construction -----------------------------------------------------------
     def build(self) -> IndexStats:
         """Build the index (or perform the method's preprocessing step)."""
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         start = time.perf_counter()
         self._build()
         elapsed = time.perf_counter() - start
@@ -217,6 +217,28 @@ class SearchMethod(abc.ABC):
         """
         raise NotImplementedError(f"{self.name} does not support appends")
 
+    def extend(self, start: int, stop: int | None = None) -> int:
+        """Bulk-insert store rows ``[start, stop)`` into a *built* index.
+
+        The live-ingest companion of :meth:`append`: after
+        ``store.extend(rows)`` lands new rows, ``method.extend(old_count)``
+        makes them searchable without a rebuild.  ``stop`` defaults to the
+        store's current count.  The base implementation loops
+        :meth:`append`; tree families override it with a batch-summarize +
+        bulk-insert path.  Returns the number of rows inserted.
+        """
+        self._require_built()
+        start = int(start)
+        stop = self.store.count if stop is None else int(stop)
+        if not (0 <= start <= stop <= self.store.count):
+            raise ValueError(
+                f"extend range [{start}, {stop}) out of bounds for "
+                f"{self.store.count} rows"
+            )
+        for position in range(start, stop):
+            self.append(position)
+        return stop - start
+
     def _collect_footprint(self) -> None:
         """Populate node counts / sizes in :attr:`index_stats` (optional)."""
 
@@ -247,7 +269,7 @@ class SearchMethod(abc.ABC):
     def knn_exact(self, query: KnnQuery) -> SearchResult:
         """Answer an exact k-NN query, with timing and access accounting."""
         self._require_built()
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         stats = QueryStats(dataset_size=self.store.count)
         start = time.perf_counter()
         answers = self._knn_exact(np.asarray(query.series, dtype=np.float64), query.k, stats)
@@ -299,7 +321,7 @@ class SearchMethod(abc.ABC):
         stats_list: list[QueryStats] = []
         for q in queries:
             series = np.asarray(np.asarray(q, dtype=SERIES_DTYPE), dtype=np.float64)
-            before = self.store.snapshot()
+            before = self.store.counter_snapshot()
             stats = QueryStats(dataset_size=self.store.count)
             start = time.perf_counter()
             answers = self._knn_exact(series, k, stats)
@@ -361,7 +383,7 @@ class SearchMethod(abc.ABC):
         """
         if self.store.supports_quantized_scan:
             return self._tiled_pruned_batch_scan(queries, k, tile, norms, dots_for)
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         start_time = time.perf_counter()
 
         q_norms = np.einsum("ij,ij->i", queries, queries)
@@ -428,7 +450,7 @@ class SearchMethod(abc.ABC):
         identical tile boundaries the plain pass uses, so the answers are
         byte-identical while the physical bytes moved drop several-fold.
         """
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         start_time = time.perf_counter()
 
         q_norms = np.einsum("ij,ij->i", queries, queries)
@@ -502,7 +524,7 @@ class SearchMethod(abc.ABC):
         self._require_built()
         if not self.supports_approximate:
             raise NotImplementedError(f"{self.name} does not support approximate search")
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         stats = QueryStats(dataset_size=self.store.count)
         start = time.perf_counter()
         answers = self._knn_approximate(
@@ -529,7 +551,7 @@ class SearchMethod(abc.ABC):
         correct.
         """
         self._require_built()
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         stats = QueryStats(dataset_size=self.store.count)
         start = time.perf_counter()
         answers = self._range_exact(

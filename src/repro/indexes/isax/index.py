@@ -182,6 +182,39 @@ class Isax2PlusIndex(SearchMethod):
         # in-memory state (and eventually spurious spill accounting).
         self._buffer.flush_all()
 
+    def extend(self, start: int, stop: int | None = None) -> int:
+        """Bulk-insert rows ``[start, stop)``: batch-summarize, then insert.
+
+        The live-ingest fast path: each block's PAA matrix comes from one
+        vectorized ``transform_batch`` call (the same summarizer the streamed
+        build uses) instead of a per-series ``transform``, and the buffer
+        pool flushes once per extend rather than once per row.  The resulting
+        tree is query-equivalent to appending the rows one at a time.
+        """
+        self._require_built()
+        start = int(start)
+        stop = self.store.count if stop is None else int(stop)
+        if not (0 <= start <= stop <= self.store.count):
+            raise ValueError(
+                f"extend range [{start}, {stop}) out of bounds for "
+                f"{self.store.count} rows"
+            )
+        if self._buffer is None or self._buffer.counter is not self.store.counter:
+            self._buffer = self._make_buffer()
+        # build_chunk_rows=None means "store default" for scans; here any
+        # RSS-bounded block size works, so fall back to a few thousand rows.
+        chunk_rows = self.build_chunk_rows or 4096
+        for block_start in range(start, stop, chunk_rows):
+            block_stop = min(stop, block_start + chunk_rows)
+            block = np.asarray(
+                self.store.peek(slice(block_start, block_stop)), dtype=np.float64
+            )
+            paa = self.summarizer.paa.transform_batch(block)
+            for offset in range(block.shape[0]):
+                self._insert(block_start + offset, paa[offset])
+        self._buffer.flush_all()
+        return stop - start
+
     def _route(self, node: IsaxNode, paa: np.ndarray) -> IsaxNode:
         """Choose the child of an internal node for a series with PAA ``paa``."""
         segment = node.split_segment

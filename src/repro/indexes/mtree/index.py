@@ -299,7 +299,7 @@ class MTreeIndex(SearchMethod):
         self._require_built()
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         stats = QueryStats(dataset_size=self.store.count)
         start = time.perf_counter()
         answers = self._knn_bounded(

@@ -156,6 +156,7 @@ class ShardedMethod(SearchMethod):
         shard_attempts: int = 2,
         allow_partial: bool = False,
         deadline_seconds: float | None = None,
+        repartition_factor: float | None = 2.0,
         inner_params: dict | None = None,
         **params,
     ) -> None:
@@ -184,6 +185,12 @@ class ShardedMethod(SearchMethod):
         self._requested_shards = int(shards) if shards is not None else self.workers
         if self._requested_shards <= 0:
             raise ValueError("shards must be a positive integer")
+        self.repartition_factor = (
+            None if not repartition_factor else float(repartition_factor)
+        )
+        if self.repartition_factor is not None and self.repartition_factor <= 1.0:
+            raise ValueError("repartition_factor must exceed 1.0 (or be None)")
+        self.repartitions = 0
         self._shards: list[_Shard] = []
         self._pool: ThreadPoolExecutor | None = None
         super().__init__(store)
@@ -301,9 +308,71 @@ class ShardedMethod(SearchMethod):
         """Aggregated in :meth:`_build`; nothing further to collect."""
 
     def append(self, position: int) -> None:
-        raise NotImplementedError(
-            "sharded methods do not support appends; rebuild with the new data"
+        """Route one appended row into the tail shard (see :meth:`extend`)."""
+        self.extend(int(position), int(position) + 1)
+
+    def extend(self, start: int, stop: int | None = None) -> int:
+        """Bulk-insert newly ingested rows ``[start, stop)`` into the index.
+
+        Appends route to the *tail* shard: its store is re-sliced to cover
+        the new rows (zero-copy) and the inner method's own :meth:`extend`
+        absorbs them, so every other shard — and any query running against
+        it — is untouched.  When sustained ingest skews the tail past
+        ``repartition_factor`` times the mean shard size, the collection is
+        re-partitioned into balanced contiguous shards and rebuilt
+        (:meth:`repartition`), restoring parallel query speedup.
+        """
+        self._require_built()
+        start = int(start)
+        stop = self.store.count if stop is None else int(stop)
+        if not (0 <= start <= stop <= self.store.count):
+            raise ValueError(
+                f"extend range [{start}, {stop}) out of bounds for "
+                f"{self.store.count} rows"
+            )
+        if stop <= start:
+            return 0
+        tail = self._shards[-1]
+        local_old = int(tail.store.count)
+        indexed = tail.offset + local_old
+        if start != indexed:
+            raise ValueError(
+                f"extend must start at the indexed row count {indexed}; "
+                f"got {start}"
+            )
+        tail.store = self._shard_store(
+            self.store, tail.index, slice(tail.offset, stop)
         )
+        tail.method.store = tail.store
+        tail.method.extend(local_old, stop - tail.offset)
+        self._maybe_repartition()
+        return stop - start
+
+    def _maybe_repartition(self) -> None:
+        if self.repartition_factor is None or len(self._shards) < 2:
+            return
+        total = sum(int(s.store.count) for s in self._shards)
+        tail_rows = int(self._shards[-1].store.count)
+        if tail_rows * len(self._shards) > self.repartition_factor * total:
+            self.repartition()
+
+    def repartition(self) -> None:
+        """Re-plan balanced contiguous shards over the current store and rebuild.
+
+        The heavyweight half of live ingest: amortized by the skew threshold,
+        so steady appends pay per-row insert cost almost always and a full
+        rebuild only when the tail has grown far past its siblings.
+        """
+        self._shards = self._plan_shards(self.store)
+        self.repartitions += 1
+
+        def build_one(shard: _Shard):
+            shard.method.build()
+
+        parallel_map(build_one, self._shards, self.workers, pool=self._executor())
+        counter = self.store.counter
+        for shard in self._shards:
+            counter.merge(shard.store.counter)
 
     # -- shard task helpers -------------------------------------------------------
     def _deadline(self) -> float | None:
@@ -534,7 +603,7 @@ class ShardedMethod(SearchMethod):
             raise NotImplementedError(
                 f"{self.inner_name} does not support epsilon-approximate search"
             )
-        before = self.store.snapshot()
+        before = self.store.counter_snapshot()
         stats = QueryStats(dataset_size=self.store.count)
         series = np.asarray(query.series, dtype=np.float64)
         start = time.perf_counter()
@@ -574,6 +643,8 @@ class ShardedMethod(SearchMethod):
             shard_attempts=self.shard_attempts,
             allow_partial=self.allow_partial,
             deadline_seconds=self.deadline_seconds,
+            repartition_factor=self.repartition_factor,
+            repartitions=self.repartitions,
             inner_params=dict(self.inner_params),
         )
         return info

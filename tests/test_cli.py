@@ -121,3 +121,61 @@ class TestCompareCommand:
         code, output = run_cli(["compare", "--methods", "dstree,bogus", "--count", "100"])
         assert code == 2
         assert "unknown methods" in output
+
+
+class TestIngestCommand:
+    def test_create_ingest_and_reopen(self, tmp_path):
+        store = str(tmp_path / "live.store")
+        code, output = run_cli(
+            [
+                "ingest",
+                "--store", store,
+                "--count", "50",
+                "--length", "16",
+                "--batch-rows", "20",
+                "--checkpoint-every", "1",
+            ]
+        )
+        assert code == 0
+        assert "acked 20" in output and "acked 50" in output
+        # Reopen: recovery is clean, rows accumulate, segments verify.
+        code, output = run_cli(
+            ["ingest", "--store", store, "--count", "10", "--verify"]
+        )
+        assert code == 0
+        assert "verified 50 sealed rows" in output
+        assert "acked 60" in output
+
+    def test_create_without_length_is_an_error(self, tmp_path):
+        code, output = run_cli(
+            ["ingest", "--store", str(tmp_path / "new"), "--count", "5"]
+        )
+        assert code == 2
+        assert "--length" in output
+
+    def test_bad_fault_plan_is_an_error(self, tmp_path):
+        code, output = run_cli(
+            [
+                "ingest",
+                "--store", str(tmp_path / "new"),
+                "--count", "5",
+                "--length", "8",
+                "--fault-plan", "crash=bogus_point",
+            ]
+        )
+        assert code == 2
+        assert "--fault-plan" in output
+
+    def test_run_serves_growable_backend(self):
+        code, output = run_cli(
+            [
+                "run",
+                "--method", "flat",
+                "--count", "150",
+                "--length", "16",
+                "--queries", "2",
+                "--backend", "growable",
+            ]
+        )
+        assert code == 0
+        assert "[growable]" in output

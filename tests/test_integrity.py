@@ -84,6 +84,43 @@ class TestSidecarManifests:
         _rows().tofile(path)
         assert manifest_for(path) is None
 
+    def test_rewritten_sidecar_with_same_mtime_and_size_is_not_cached(
+        self, tmp_path
+    ):
+        # Regression: the manifest cache used to key on (path, mtime, size)
+        # only.  A sidecar regenerated within the filesystem's mtime
+        # granularity at the same byte size collided with the stale cache
+        # entry — its verified-set then vouched for the *old* data.  The key
+        # now folds in the sidecar's trailing self-CRC, so same-second
+        # rewrites miss the cache.
+        import os
+
+        path = tmp_path / "data.f32"
+        with SeriesFileWriter(path, length=32) as writer:
+            writer.append(_rows(seed=1))
+        sidecar = path.with_name(path.name + CRC_SUFFIX)
+        stat = sidecar.stat()
+        stale = manifest_for(path)
+        assert stale is not None
+
+        # Rewrite data + sidecar (same geometry => same sidecar size), then
+        # force the sidecar's mtime back to the first generation's.
+        with SeriesFileWriter(path, length=32) as writer:
+            writer.append(_rows(seed=2))
+        os.utime(sidecar, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        fresh_stat = sidecar.stat()
+        assert fresh_stat.st_mtime_ns == stat.st_mtime_ns
+        assert fresh_stat.st_size == stat.st_size
+
+        fresh = manifest_for(path)
+        assert fresh is not None and fresh is not stale
+        assert not np.array_equal(fresh.crcs, stale.crcs)
+        # The fresh manifest verifies the fresh bytes end to end.
+        store = SeriesStore(Dataset.from_file(path, length=32))
+        np.testing.assert_allclose(
+            store.read_contiguous(0, 300), _rows(seed=2)
+        )
+
     def test_corrupt_sidecar_is_rejected(self, tmp_path):
         rows = _rows()
         path = tmp_path / "data.f32"

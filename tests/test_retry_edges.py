@@ -1,0 +1,173 @@
+"""RetryPolicy edge cases: zero-retry, backoff ceiling, mid-scan permanence.
+
+Satellite coverage for the retry machinery around the storage read path —
+the configurations the happy-path chaos tests never hit: a policy with no
+retries at all, delays pinned at the ceiling, and permanent errors raised
+from *inside* a ``scan_chunks`` generator (the generator must die cleanly,
+already-scanned pages must be released, and the store must remain usable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, SeriesStore
+from repro.core.backends import MemoryBackend
+from repro.core.faults import RetryPolicy, TransientIOError
+from repro.core.integrity import CorruptionError
+
+
+class ScriptedBackend(MemoryBackend):
+    """Memory backend whose ``read_rows`` raises scripted exceptions.
+
+    ``script(call_index, start, stop)`` returns an exception to raise or
+    ``None`` to serve the read; every release is recorded so tests can assert
+    scan hygiene after a failure.
+    """
+
+    def __init__(self, values, script) -> None:
+        super().__init__(values)
+        self.script = script
+        self.read_calls = 0
+        self.released: list[tuple[int, int]] = []
+
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        exc = self.script(self.read_calls, start, stop)
+        self.read_calls += 1
+        if exc is not None:
+            raise exc
+        return super().read_rows(start, stop)
+
+    def release(self, start: int = 0, stop: int | None = None) -> None:
+        self.released.append((int(start), -1 if stop is None else int(stop)))
+        super().release(start, stop)
+
+
+def _store(script, retry, rows=40, length=8):
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((rows, length)).astype(np.float32)
+    backend = ScriptedBackend(values, script)
+    dataset = Dataset(values=values, name="scripted")
+    return SeriesStore(dataset, backend=backend, retry=retry), backend, values
+
+
+class TestPolicyEdges:
+    def test_attempts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            RetryPolicy(attempts=0)
+
+    def test_zero_retry_policy_propagates_first_failure(self):
+        # attempts=1 means one try, zero retries: even a transient error
+        # must propagate immediately and charge no retry to the counter.
+        script = lambda i, a, b: TransientIOError("blip") if i == 0 else None
+        store, backend, values = _store(script, RetryPolicy(attempts=1))
+        with pytest.raises(TransientIOError):
+            store.read_contiguous(0, 10)
+        assert store.counter.retries == 0
+        # The failure consumed the scripted blip; the store still works.
+        np.testing.assert_array_equal(store.read_contiguous(0, 10), values[:10])
+
+    def test_backoff_hits_ceiling_and_stays_there(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.001, multiplier=4.0, max_delay=0.01, jitter=0.0
+        )
+        delays = [policy.delay_for(attempt) for attempt in range(1, 10)]
+        assert delays[0] == pytest.approx(0.001)
+        assert delays[1] == pytest.approx(0.004)
+        # From attempt 3 on the exponential would exceed the cap.
+        assert all(d == pytest.approx(0.01) for d in delays[2:])
+        assert max(delays) <= policy.max_delay
+
+    def test_jitter_only_shrinks_delays(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=1.0, jitter=0.5)
+        for attempt in range(1, 6):
+            delay = policy.delay_for(attempt)
+            assert 0.005 <= delay <= 0.01
+
+    def test_permanent_classification(self):
+        policy = RetryPolicy()
+        for exc in (
+            CorruptionError("rot"),
+            FileNotFoundError("gone"),
+            PermissionError("denied"),
+            IsADirectoryError("dir"),
+            NotADirectoryError("file"),
+        ):
+            assert not policy.is_transient(exc), type(exc).__name__
+        assert policy.is_transient(TransientIOError("blip"))
+        assert policy.is_transient(OSError("hiccup"))
+        assert policy.is_transient(TimeoutError("slow"))
+        assert not policy.is_transient(ValueError("not io at all"))
+
+
+class TestScanChunkPermanence:
+    def test_permanent_error_mid_scan_propagates_without_retry(self):
+        # CorruptionError on the third chunk: no retry (re-reading damaged
+        # bytes cannot help), the generator dies on that chunk.
+        script = lambda i, a, b: CorruptionError("rot") if a == 20 else None
+        store, backend, values = _store(script, RetryPolicy(attempts=5))
+        seen = []
+        with pytest.raises(CorruptionError):
+            for start, block in store.scan_chunks(chunk_rows=10):
+                seen.append(start)
+        assert seen == [0, 10]
+        assert store.counter.retries == 0  # permanent = zero retry attempts
+
+    def test_failed_scan_released_prior_pages_and_store_survives(self):
+        yank = {"armed": True}
+
+        def script(i, a, b):
+            if a == 30 and yank.pop("armed", None):
+                return PermissionError("yanked")
+            return None
+
+        store, backend, values = _store(script, RetryPolicy(attempts=3))
+        generator = store.scan_chunks(chunk_rows=10)
+        with pytest.raises(PermissionError):
+            for _ in generator:
+                pass
+        # Chunks served before the failure were released behind the scan.
+        assert (0, 10) in backend.released and (0, 20) in backend.released
+        # The generator is spent, not wedged half-open.
+        assert list(generator) == []
+        # And the store remains fully usable once the fault clears.
+        np.testing.assert_array_equal(
+            np.vstack([b for _, b in store.scan_chunks(chunk_rows=10)]), values
+        )
+
+    def test_closing_generator_midway_leaves_store_usable(self):
+        script = lambda i, a, b: None
+        store, backend, values = _store(script, RetryPolicy(attempts=2))
+        generator = store.scan_chunks(chunk_rows=10)
+        start, block = next(generator)
+        generator.close()
+        np.testing.assert_array_equal(store.read_contiguous(0, 40), values)
+        # A fresh scan starts from row zero, unaffected by the closed one.
+        assert [s for s, _ in store.scan_chunks(chunk_rows=10)] == [0, 10, 20, 30]
+
+    def test_transient_error_mid_scan_is_retried_in_place(self):
+        # One blip on the second chunk: the scan recovers without skipping
+        # or duplicating a single chunk.
+        fails = {1}
+        script = (
+            lambda i, a, b: TransientIOError("blip")
+            if a == 10 and i in fails and not fails.discard(i)
+            else None
+        )
+        store, backend, values = _store(
+            script, RetryPolicy(attempts=3, base_delay=1e-6, jitter=0.0)
+        )
+        chunks = list(store.scan_chunks(chunk_rows=10))
+        assert [s for s, _ in chunks] == [0, 10, 20, 30]
+        np.testing.assert_array_equal(np.vstack([b for _, b in chunks]), values)
+        assert store.counter.retries == 1
+
+    def test_transient_errors_exhaust_attempts_then_raise(self):
+        script = lambda i, a, b: TransientIOError("always") if a == 0 else None
+        store, backend, values = _store(
+            script, RetryPolicy(attempts=3, base_delay=1e-6, jitter=0.0)
+        )
+        with pytest.raises(TransientIOError):
+            next(iter(store.scan_chunks(chunk_rows=10)))
+        assert store.counter.retries == 2  # attempts - 1 retries were charged

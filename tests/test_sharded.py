@@ -349,9 +349,11 @@ class TestShardedConfiguration:
         with pytest.raises(ValueError):
             create_method("sharded:flat", SeriesStore(tie_dataset), workers=0)
 
-    def test_append_unsupported(self, built_pairs):
+    def test_append_rejects_already_indexed_rows(self, built_pairs):
+        # Appends route to the tail shard and must pick up exactly where the
+        # indexed rows end — re-appending row 0 is a contract violation.
         _, sharded = built_pairs["isax2+"]
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(ValueError, match="indexed row count"):
             sharded.append(0)
 
     def test_describe_reports_topology(self, built_pairs):

@@ -77,7 +77,7 @@ class TestAccounting:
     def test_snapshot_and_diff(self, dataset):
         store = SeriesStore(dataset, page_bytes=1024)
         store.scan()
-        before = store.snapshot()
+        before = store.counter_snapshot()
         store.read_block([1, 2])
         delta = store.since(before)
         assert delta.random_accesses == 1
