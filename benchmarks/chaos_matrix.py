@@ -17,6 +17,10 @@ Scenario kinds:
 * ``shard-loss`` — a permanently failing shard under ``allow_partial``; PASS
   means every answer came back flagged degraded with the failed shard
   counted.
+* ``kill-worker`` — a process-pool worker SIGKILLed mid-query (the
+  ``kill_worker`` fault-plan budget); PASS means the shard was re-executed on
+  a fresh worker, the re-execution was counted in ``stats.retries``, and the
+  final answers match the fault-free baseline exactly.
 * ``ingest-kill`` — a live ingest into a growable store SIGKILLed mid-extend
   or mid-checkpoint (subprocess crash harness); PASS means every acked row
   survived recovery bit-exact and the store stayed usable.
@@ -156,6 +160,39 @@ def _shard_loss_cell(dataset, queries, baseline):
     }
 
 
+def _kill_worker_cell(dataset, queries, seed):
+    """SIGKILL a process-pool worker mid-query; the shard must re-execute."""
+    from repro.core.faults import reset_crash_counters
+    from repro.core.parallel import shutdown_shared_executors
+
+    baseline = _answers(_build("sharded:flat", SeriesStore(dataset)), queries)
+    reset_crash_counters()  # the kill budget is a process-global tally
+    store = SeriesStore(dataset)
+    method = _build("sharded:flat", store, executor="process")
+    # Arm the kill *after* build so construction survives and the SIGKILL
+    # lands on a query-serving worker — the resilience path under test.
+    store.faults = FaultPlan(seed=seed, kill_worker=1)
+    answers = []
+    reexecutions = 0
+    try:
+        for query in queries:
+            result = method.knn_exact(query)
+            reexecutions += int(result.stats.retries)
+            answers.append(
+                [(int(n.position), float(n.distance)) for n in result.neighbors]
+            )
+    finally:
+        method.close()
+        shutdown_shared_executors()
+        reset_crash_counters()
+    return {
+        "scenario": "kill-worker",
+        "identical": answers == baseline,
+        "reexecutions": reexecutions,
+        "ok": answers == baseline and reexecutions >= 1,
+    }
+
+
 def _ingest_kill_cell(crash_point, seed, tmp):
     from repro.core.crash_harness import run_crash_cell
 
@@ -250,6 +287,12 @@ def main(argv=None) -> int:
         cell.update(method="sharded:flat", seed=None)
         rows.append(cell)
         failures += 0 if cell["ok"] else 1
+
+        for seed in seeds:
+            cell = _kill_worker_cell(dataset, queries, seed)
+            cell.update(method="sharded:flat", seed=seed)
+            rows.append(cell)
+            failures += 0 if cell["ok"] else 1
 
         for crash_point in ("kill_after_wal_write", "kill_mid_checkpoint"):
             for seed in seeds:

@@ -229,6 +229,15 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: 1; sharded methods default their shard count to this)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("thread", "process"),
+        help="shard fan-out backend for 'sharded:*' methods: 'thread' (the "
+        "default) shares memory, 'process' runs shards on a warm process "
+        "pool for multi-core speedup on Python-heavy tree descent (answers "
+        "are byte-identical; also settable via REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
         "--dataset-file",
         default=None,
         help="serve an on-disk dataset (.npy, or raw f32 with --length) instead "
@@ -328,6 +337,7 @@ def _method_params(
     shards: int | None = None,
     allow_partial: bool = False,
     deadline: float | None = None,
+    executor: str | None = None,
 ) -> dict:
     base = _base_method_name(name)
     params = dict(_DEFAULT_PARAMS.get(base, {}))
@@ -342,6 +352,8 @@ def _method_params(
             params["allow_partial"] = True
         if deadline is not None:
             params["deadline_seconds"] = deadline
+        if executor is not None:
+            params["executor"] = executor
     return params
 
 
@@ -387,6 +399,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
             ("--shards", args.shards),
             ("--allow-partial", args.allow_partial or None),
             ("--deadline", args.deadline),
+            ("--executor", args.executor),
         ):
             if value is not None:
                 print(
@@ -413,6 +426,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
                 shards=args.shards,
                 allow_partial=args.allow_partial,
                 deadline=args.deadline,
+                executor=args.executor,
             ),
             workers=args.workers,
             backend=args.backend,
@@ -442,7 +456,9 @@ def _command_compare(args: argparse.Namespace, out) -> int:
                 workload,
                 name,
                 platform=PLATFORMS[args.platform],
-                method_params=_method_params(name, workers=args.workers),
+                method_params=_method_params(
+                    name, workers=args.workers, executor=args.executor
+                ),
                 workers=args.workers,
                 backend=args.backend,
                 faults=args.fault_plan,

@@ -111,15 +111,20 @@ class SimilaritySearchEngine:
         page_bytes: int = 65536,
         backend=None,
         measure_io: bool = False,
+        executor: str | None = None,
     ) -> None:
         """``backend`` selects the storage backend (``"memory"``/``"mmap"``/
         an instance; ``None`` follows the dataset — file-backed datasets from
         :meth:`Dataset.from_file` are served memory-mapped automatically).
-        ``measure_io=True`` additionally records measured wall-clock I/O."""
+        ``measure_io=True`` additionally records measured wall-clock I/O.
+        ``executor`` selects the fan-out backend for sharded methods built
+        through this engine (``"thread"``/``"process"``; ``None`` defers to
+        ``REPRO_EXECUTOR``) — ignored by unsharded methods."""
         self.dataset = dataset
         self.store = SeriesStore(
             dataset, page_bytes=page_bytes, backend=backend, measure_io=measure_io
         )
+        self.executor = executor
         self.method = None
         self.method_name: str | None = None
 
@@ -129,6 +134,8 @@ class SimilaritySearchEngine:
         if method is None:
             advice = self.recommend()
             method = advice.method
+        if self.executor is not None and str(method).startswith("sharded"):
+            params.setdefault("executor", self.executor)
         self.method = create_method(method, self.store, **params)
         self.method_name = self.method.name
         self.store.reset_counters()

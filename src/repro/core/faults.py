@@ -57,6 +57,7 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "crash_point",
     "reset_crash_counters",
+    "take_kill_budget",
 ]
 
 #: environment variable holding a fault-plan spec applied to every new store.
@@ -110,6 +111,27 @@ def crash_point(plan: "FaultPlan | None", name: str) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def take_kill_budget(plan: "FaultPlan | None") -> bool:
+    """Consume one unit of ``plan.kill_worker`` budget; True means "kill".
+
+    Called by the sharded coordinator as it dispatches each process task: the
+    first ``kill_worker`` dispatches get a kill flag (the worker SIGKILLs
+    itself on arrival), later dispatches — including retries of the killed
+    tasks — run normally.  Consuming the budget in the coordinator (not the
+    workers) is what makes the fault transient: per-worker counters would die
+    with the worker and every retry would be assassinated forever.  Shares the
+    crash-point counter table, so :func:`reset_crash_counters` clears it.
+    """
+    if plan is None or int(plan.kill_worker) <= 0:
+        return False
+    with _crash_lock:
+        spent = _crash_hits.get("kill_worker", 0)
+        if spent >= int(plan.kill_worker):
+            return False
+        _crash_hits["kill_worker"] = spent + 1
+    return True
+
+
 class TransientIOError(IOError):
     """An injected (or detected) transient read failure; retrying may succeed."""
 
@@ -147,6 +169,12 @@ class FaultPlan:
     #: write cache): WAL appends skip flush+fsync, so a SIGKILL genuinely
     #: loses userspace-buffered bytes and recovery sees real torn tails.
     lie_fsync: int = 0
+    #: SIGKILL budget for process-executor workers: the first ``kill_worker``
+    #: shard tasks dispatched to a process pool assassinate their worker on
+    #: arrival.  The budget is consumed coordinator-side (see
+    #: :func:`take_kill_budget`), so retried tasks survive — modeling a worker
+    #: lost mid-flight, not a poison-pill task.
+    kill_worker: int = 0
 
     def __post_init__(self) -> None:
         for name in ("transient", "latency", "truncate", "corrupt"):
@@ -163,6 +191,8 @@ class FaultPlan:
             )
         if int(self.crash_hit) < 1:
             raise ValueError("crash_hit must be at least 1")
+        if int(self.kill_worker) < 0:
+            raise ValueError("kill_worker must be non-negative")
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
@@ -187,7 +217,14 @@ class FaultPlan:
                     value, _, hit = value.partition(":")
                     updates["crash_hit"] = int(hit)
                 updates[key] = value.strip()
-            elif key in ("seed", "region_rows", "max_failures", "crash_hit", "lie_fsync"):
+            elif key in (
+                "seed",
+                "region_rows",
+                "max_failures",
+                "crash_hit",
+                "lie_fsync",
+                "kill_worker",
+            ):
                 updates[key] = int(value)
             else:
                 updates[key] = float(value)

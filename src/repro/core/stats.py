@@ -32,6 +32,16 @@ class AccessCounter:
     joining them.  A counter instance must never be mutated concurrently from
     two threads; :mod:`repro.core.parallel` and the sharded index wrapper
     follow this protocol everywhere.
+
+    The same protocol crosses process boundaries: a pickled
+    :class:`~repro.core.storage.SeriesStore` arrives in a worker process with
+    a **fresh** counter (``__getstate__`` drops the parent's — shipping live
+    tallies would double-count them on merge), the worker accumulates locally,
+    and the accumulated *delta* rides back in the task result for the
+    coordinator to :meth:`merge` after the join.  Every field — including
+    ``retries`` and the ``bytes_written``/``bytes_read`` halves of a
+    construction-buffer spill — is additive, so thread-mode and process-mode
+    totals for the same work are identical.
     """
 
     sequential_pages: int = 0

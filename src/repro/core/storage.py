@@ -491,6 +491,27 @@ class SeriesStore:
             verify=self.verify,
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle as a task spec: geometry + backend handle, no live state.
+
+        A store crossing a process boundary is an instruction to *read the
+        same bytes over there*, not a transfer of accounting: the receiving
+        worker accumulates into a fresh counter and ships the delta back in
+        its task result (the cross-process form of the fork/merge protocol).
+        The checksum manifest is dropped and rebuilt from the backend's
+        integrity sidecar on arrival — shipping the CRC table would defeat
+        the worker-side manifest cache and bloat every task.
+        """
+        state = dict(self.__dict__)
+        state["_manifest"] = None
+        state["counter"] = AccessCounter()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.verify:
+            self._manifest = self.backend.checksums()
+
     def slice(self, start: int, stop: int, name: str | None = None) -> "SeriesStore":
         """A store over the contiguous sub-range ``start:stop`` (zero-copy).
 

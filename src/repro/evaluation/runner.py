@@ -149,6 +149,7 @@ def run_experiment(
     measure_io: bool = False,
     faults=None,
     retry=None,
+    executor: str | None = None,
 ) -> ExperimentResult:
     """Build ``method_name`` over ``dataset`` and answer ``workload``.
 
@@ -177,6 +178,10 @@ def run_experiment(
     ``"seed=7,transient=0.1"``) and ``retry`` overrides the store's
     :class:`~repro.core.faults.RetryPolicy`; retry counts and degraded-query
     flags surface in the result rows.
+
+    ``executor`` selects the shard fan-out backend for sharded methods
+    (``"thread"``/``"process"``; ``None`` defers to ``REPRO_EXECUTOR``) —
+    rejected for unsharded methods, where it has nothing to parallelize.
     """
     store = SeriesStore(
         dataset,
@@ -186,7 +191,15 @@ def run_experiment(
         faults=faults,
         retry=retry,
     )
-    method = create_method(method_name, store, **(method_params or {}))
+    params = dict(method_params or {})
+    if executor is not None:
+        if not str(method_name).startswith("sharded"):
+            raise ValueError(
+                "executor= only applies to sharded methods "
+                "(method_name='sharded:<inner>')"
+            )
+        params.setdefault("executor", executor)
+    method = create_method(method_name, store, **params)
     index_stats = method.build()
     index_stats.build_io_seconds = platform.io_seconds(
         index_stats.sequential_pages, index_stats.random_accesses

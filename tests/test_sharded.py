@@ -278,9 +278,19 @@ class TestWorkerInvarianceAndStats:
             assert result.stats.series_examined < tie_dataset.count / 2
 
     def test_batch_factory_contract_violation_raises(self, tie_dataset):
-        """An inner batch path creating extra answer sets must fail loudly."""
+        """An inner batch path creating extra answer sets must fail loudly.
+
+        Pinned to the thread executor: the monkeypatched inner method cannot
+        cross the pickle boundary (process workers rebuild their own); the
+        worker-side half of the same contract is unit-tested in
+        test_executors.py.
+        """
         sharded = create_method(
-            "sharded:flat", SeriesStore(tie_dataset), shards=2, workers=1
+            "sharded:flat",
+            SeriesStore(tie_dataset),
+            shards=2,
+            workers=1,
+            executor="thread",
         )
         sharded.build()
         inner = sharded._shards[0].method
@@ -331,14 +341,20 @@ class TestShardedConfiguration:
             create_method("sharded:flat", SeriesStore(tie_dataset), inner="flat")
 
     def test_close_releases_and_recreates_pool(self, tie_dataset, queries):
+        # Pinned to the thread executor: shared process executors are owned
+        # by the registry and deliberately survive method.close().
         method = create_method(
-            "sharded:flat", SeriesStore(tie_dataset), shards=2, workers=2
+            "sharded:flat",
+            SeriesStore(tie_dataset),
+            shards=2,
+            workers=2,
+            executor="thread",
         )
         method.build()
         first = method.knn_exact(KnnQuery(series=queries[0], k=3))
-        assert method._pool is not None
+        assert method.executor._pool is not None
         method.close()
-        assert method._pool is None
+        assert method.executor._pool is None
         method.close()  # idempotent
         again = method.knn_exact(KnnQuery(series=queries[0], k=3))  # still usable
         assert_identical(first, again)
