@@ -13,7 +13,6 @@ every method.  These benches measure both at small scale:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SeriesStore, create_method
 from repro.evaluation import HDD, render_table, run_experiment

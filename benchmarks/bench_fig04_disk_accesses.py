@@ -8,7 +8,6 @@ regenerates the four panels as tables of access counts.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.evaluation import HDD, render_series
 

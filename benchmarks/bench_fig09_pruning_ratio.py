@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.evaluation import HDD, render_table
 
-from .conftest import METHOD_PARAMS, run_cell, summarize
+from .conftest import run_cell, summarize
 from repro.workloads import (
     random_walk_dataset,
     real_ctrl_workload,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
 
 
@@ -35,7 +34,7 @@ def pytest_ignore_collect(collection_path, config):
         return True
     return None
 
-from repro.evaluation import HDD, SSD, run_experiment
+from repro.evaluation import HDD, run_experiment
 from repro.workloads import random_walk_dataset, synth_rand_workload
 
 # -- scale knobs -----------------------------------------------------------------

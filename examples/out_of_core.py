@@ -39,7 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Dataset, SeriesStore, SimilaritySearchEngine, load_method, save_method
+from repro import SeriesStore, SimilaritySearchEngine, load_method, save_method
 from repro.evaluation import measure_platform
 from repro.workloads import random_walk_to_file, synth_rand_workload
 

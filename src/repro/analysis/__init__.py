@@ -1,0 +1,36 @@
+"""Project-specific static analysis: the ``repro lint`` invariant checker.
+
+The paper's central claim is *exactness* — byte-identical answers regardless
+of backend, worker count, or executor.  The conventions that make that true
+(strict-inequality pruning, deterministic tie-breaking, no raw arrays across
+the process boundary, atomic file finalization, counter conservation) are
+cross-cutting and easy to violate in review.  This package encodes them as
+AST-based lint rules so a diff that breaks a contract fails CI instead of
+waiting for a runtime test to trip it.
+
+Use :func:`lint_paths` programmatically, or the ``repro lint`` CLI
+subcommand (text and ``--json`` output; nonzero exit on findings).
+Individual findings can be waived inline with a justified
+``# repro-lint: disable=<rule>`` comment on (or immediately above) the
+flagged line.
+"""
+
+from .linter import (
+    Finding,
+    LintReport,
+    Linter,
+    Rule,
+    all_rules,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Linter",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+]

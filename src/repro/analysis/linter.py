@@ -1,0 +1,322 @@
+"""Rule engine for the ``repro lint`` invariant checker.
+
+The engine is deliberately small: a rule registry, a per-file
+:class:`ModuleContext` (parsed AST, source lines, a parent map for
+enclosing-scope questions, and the path of the module *inside* the
+``repro`` package so rules can scope themselves to subsystems), inline
+suppression handling, and text/JSON reporting.  The actual invariants
+live in :mod:`repro.analysis.rules`, one module per rule family.
+
+Suppressions
+------------
+A finding is waived by a ``# repro-lint: disable=<rule>[,<rule>...]``
+comment either trailing the flagged line or on a comment line directly
+above it (``disable=all`` waives every rule for that line).  Suppressions
+are counted and reported — a waiver is a reviewed decision, not a silent
+hole — and the project convention (see CONTRIBUTING.md) is that every
+suppression carries a one-line justification in the same comment.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Linter",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+]
+
+SEVERITIES = ("error", "warning")
+
+#: matches the inline waiver comment anywhere in a line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.severity}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.rel = _package_relative(self.path)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- path scoping ---------------------------------------------------------
+    def in_package(self, *prefix: str) -> bool:
+        """Whether the module lives under ``repro/<prefix...>/``."""
+        return self.rel[: len(prefix)] == prefix
+
+    def module_is(self, *rel: str) -> bool:
+        """Whether the module *is* ``repro/<rel...>`` exactly."""
+        return self.rel == rel
+
+    # -- tree navigation ------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def enclosing(self, node: ast.AST, kinds: tuple[type, ...]) -> ast.AST | None:
+        """The nearest ancestor of ``node`` matching one of ``kinds``."""
+        current = self._parents.get(node)
+        while current is not None and not isinstance(current, kinds):
+            current = self._parents.get(current)
+        return current
+
+    def enclosing_function(self, node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        found = self.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        return found  # type: ignore[return-value]
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        found = self.enclosing(node, (ast.ClassDef,))
+        return found  # type: ignore[return-value]
+
+
+def _package_relative(path: Path) -> tuple[str, ...]:
+    """The module path inside the ``repro`` package, as parts.
+
+    ``.../src/repro/indexes/isax/index.py`` becomes
+    ``("indexes", "isax", "index.py")``.  Files outside any ``repro``
+    directory fall back to their bare filename, which keeps path-scoped
+    rules (they all scope *inside* the package) from misfiring on
+    arbitrary scripts while still letting fixtures opt in by living under
+    a ``repro/`` directory.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return tuple(parts[index + 1 :])
+    return (path.name,)
+
+
+class Rule(abc.ABC):
+    """One invariant check.  Subclasses register via :func:`register_rule`."""
+
+    #: unique rule id used in reports and ``disable=`` comments.
+    name: str = ""
+    severity: str = "error"
+    #: one-line summary shown by ``repro lint --list-rules``.
+    description: str = ""
+    #: the design contract being enforced, with a pointer to where it came from.
+    invariant: str = ""
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return True
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module`` (already filtered by ``applies_to``)."""
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a rule instance under its ``name``."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"{cls.__name__} must set a rule name")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__}: unknown severity {rule.severity!r}")
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, loading the built-in rule modules on first use."""
+    from . import rules as _rules  # noqa: F401  (import populates the registry)
+
+    return dict(_RULES)
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map of 1-based line number -> rule names waived on that line.
+
+    A trailing directive waives its own line; a directive inside a comment
+    block waives the next *code* line (blank and comment lines in between
+    are skipped), so a justification can span several comment lines.
+    """
+    waived: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        names = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        waived.setdefault(number, set()).update(names)
+        if text.lstrip().startswith("#"):
+            for following in range(number + 1, len(lines) + 1):
+                stripped = lines[following - 1].strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                waived.setdefault(following, set()).update(names)
+                break
+    return waived
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    findings: list[Finding] = dataclasses.field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    rules: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule] = tally.get(finding.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "repro-lint",
+            "files_scanned": self.files_scanned,
+            "rules": self.rules,
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+    def render_text(self) -> str:
+        out = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro lint: {len(self.findings)} finding(s) in "
+            f"{self.files_scanned} file(s)"
+        )
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed"
+        if self.clean:
+            summary = (
+                f"repro lint: clean ({self.files_scanned} file(s), "
+                f"{len(self.rules)} rule(s)"
+                + (f", {self.suppressed} suppressed)" if self.suppressed else ")")
+            )
+        out.append(summary)
+        return "\n".join(out)
+
+
+class Linter:
+    """Runs a rule set over files and directories."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            rules = all_rules().values()
+        self.rules = list(rules)
+
+    def lint_source(self, source: str, path: str | Path) -> tuple[list[Finding], int]:
+        """Lint one module's source; returns (findings, suppressed count)."""
+        try:
+            module = ModuleContext(path, source)
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        rule="syntax-error",
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                ],
+                0,
+            )
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(module):
+                raw.extend(rule.check(module))
+        waived = _suppressions(module.lines)
+        findings: list[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            names = waived.get(finding.line, set())
+            if finding.rule in names or "all" in names:
+                suppressed += 1
+            else:
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings, suppressed
+
+    def lint_file(self, path: str | Path) -> tuple[list[Finding], int]:
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, path)
+
+    def run(self, paths: Iterable[str | Path]) -> LintReport:
+        report = LintReport(rules=sorted(rule.name for rule in self.rules))
+        for path in _expand(paths):
+            findings, suppressed = self.lint_file(path)
+            report.findings.extend(findings)
+            report.suppressed += suppressed
+            report.files_scanned += 1
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def _expand(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[str | Path], rules: Iterable[Rule] | None = None) -> LintReport:
+    """Lint ``paths`` (files or directories) with ``rules`` (default: all)."""
+    return Linter(rules).run(paths)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=False)

@@ -1,0 +1,23 @@
+"""Built-in rule families; importing this package registers every rule."""
+
+from . import (  # noqa: F401  (imports register the rules)
+    atomic,
+    counters,
+    defaults,
+    excepts,
+    pickle_boundary,
+    pruning,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "atomic",
+    "counters",
+    "defaults",
+    "excepts",
+    "pickle_boundary",
+    "pruning",
+    "rng",
+    "wallclock",
+]

@@ -1,0 +1,97 @@
+"""atomic-writes: data files are finalized with tmp + os.replace, never in place.
+
+PR 7 made every data-file writer atomic: stream into a uniquified
+``*.tmp``, fsync, then ``os.replace`` into the final name — so a crash at
+any point leaves either the old complete file or no file, never a
+half-written one (and the orphan sweep of PR 8 collects the debris).  A
+plain ``open(path, "w"/"wb")`` on a data path reintroduces the torn-file
+window.
+
+This rule flags write-mode ``open()`` calls in the storage-owning core
+modules unless they occur inside one of the sanctioned atomic-writer
+implementations (which are exactly the places that own the tmp+replace
+dance).  The write-ahead log is the one principled exception — an
+append-only log is made crash-consistent by CRC framing + fsync + replay,
+not by rename — and carries inline suppressions with that justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+#: core modules whose file writes must be atomic.
+_SCOPED_MODULES = (
+    ("core", "backends.py"),
+    ("core", "growable.py"),
+    ("core", "wal.py"),
+    ("core", "persistence.py"),
+    ("core", "storage.py"),
+)
+
+#: functions that *implement* the tmp + os.replace protocol.
+_WRITER_FUNCTIONS = {"_atomic_write_json", "_atomic_write_bytes", "write_sidecar"}
+
+#: classes that *implement* the tmp + os.replace protocol.
+_WRITER_CLASSES = {"SeriesFileWriter", "CompressedFileWriter"}
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open()`` call, if it is a literal write mode."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return None  # dynamic mode: not decidable statically
+    value = mode.value
+    if any(flag in value for flag in ("w", "a", "+", "x")):
+        return value
+    return None
+
+
+@register_rule
+class AtomicWritesRule(Rule):
+    name = "atomic-writes"
+    severity = "error"
+    description = (
+        "write-mode open() in core storage modules must go through the "
+        "atomic writer helpers (tmp + os.replace)"
+    )
+    invariant = (
+        "Crash consistency (PR 7/8): a data file is either its old complete "
+        "self or absent, never torn — writers stream to *.tmp, fsync, and "
+        "os.replace into place; recovery sweeps orphaned tmp files."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return any(module.module_is(*scoped) for scoped in _SCOPED_MODULES)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+                continue
+            mode = _write_mode(node)
+            if mode is None:
+                continue
+            function = module.enclosing_function(node)
+            if function is not None and function.name in _WRITER_FUNCTIONS:
+                continue
+            enclosing_class = module.enclosing_class(node)
+            if enclosing_class is not None and enclosing_class.name in _WRITER_CLASSES:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"open(..., {mode!r}) writes a data file in place; stream to "
+                "a *.tmp and os.replace() it via the atomic writer helpers "
+                "so a crash can never leave a torn file",
+            )

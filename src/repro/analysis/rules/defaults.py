@@ -1,0 +1,59 @@
+"""mutable-default-args: default values must not be shared mutable state.
+
+A ``def f(items=[])`` default is evaluated once and shared by every call —
+state leaks between calls, and in this codebase between *queries* and
+between *shards*, which is exactly the kind of cross-call coupling the
+byte-identity suites exist to rule out.  Dataclasses raise on mutable
+defaults at class-creation time; plain functions fail silently, so the
+linter covers them.  Use ``None`` + an inside-the-body default instead
+(the convention everywhere in the package, e.g. ``inner_params=None``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "OrderedDict", "defaultdict", "deque"}
+
+
+def _is_mutable(default: ast.expr) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(default, ast.Call):
+        func = default.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class MutableDefaultArgsRule(Rule):
+    name = "mutable-default-args"
+    severity = "error"
+    description = "no list/dict/set (literal or constructor) default argument values"
+    invariant = (
+        "No shared state between calls: a mutable default is evaluated once "
+        "and couples every caller — use None and default inside the body."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            arguments = node.args
+            defaults = list(arguments.defaults) + [
+                default for default in arguments.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"{label}() has a mutable default argument, shared "
+                        "across every call; default to None and build the "
+                        "value inside the body",
+                    )

@@ -1,0 +1,79 @@
+"""no-bare-except: failures are classified and surfaced, never swallowed.
+
+PR 7 built the whole resilience story on *typed* failure classification:
+``RetryPolicy.is_transient`` decides what is worth retrying,
+``CorruptionError`` must always propagate (a wrong answer is never
+acceptable), and the sharded engine re-executes or degrades only on known
+shard failures.  A bare ``except:`` (which also eats ``KeyboardInterrupt``
+and ``SystemExit``) or an ``except Exception:`` that swallows without
+re-raising punches a hole in that classification — a corruption or a
+deadline signal silently becomes "fine".
+
+Broad handlers that clean up and re-raise (e.g. abandoning a half-written
+segment file before propagating) are the sanctioned pattern and pass this
+rule; broad handlers with no ``raise`` in their body are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _names(node: ast.expr | None) -> set[str]:
+    if node is None:
+        return set()
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Tuple):
+        collected: set[str] = set()
+        for element in node.elts:
+            collected |= _names(element)
+        return collected
+    return set()
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register_rule
+class NoBareExceptRule(Rule):
+    name = "no-bare-except"
+    severity = "error"
+    description = (
+        "no bare except:, and no except Exception/BaseException that "
+        "swallows without re-raising"
+    )
+    invariant = (
+        "Typed failure classification (PR 7): transient faults retry, "
+        "CorruptionError always propagates, everything else is a real error "
+        "— a swallowed broad except silently reclassifies all three as OK."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt/SystemExit too; "
+                    "name the exception types this site can actually handle",
+                )
+                continue
+            broad = _names(node.type) & _BROAD
+            if broad and not _reraises(node):
+                caught = sorted(broad)[0]
+                yield self.finding(
+                    module,
+                    node,
+                    f"'except {caught}:' without a re-raise swallows "
+                    "CorruptionError and every other typed failure; narrow "
+                    "the type or clean up and re-raise",
+                )

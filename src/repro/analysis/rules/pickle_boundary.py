@@ -1,0 +1,98 @@
+"""pickle-boundary: no raw series data ever crosses the process boundary.
+
+PR 9's process executor ships *plans*, not data: a shard task carries a
+method name, params, and a store handle that pickles by (backend path, row
+range) — the worker reopens the bytes on its side.  Two classes of mistake
+reintroduce raw-array shipping:
+
+* a store/backend class without an explicit ``__getstate__``/``__reduce__``
+  falls back to default ``__dict__`` pickling, which drags mapped pages,
+  live counters, or cached arrays across the boundary (and double-counts
+  the counters on merge);
+* a task-plan dataclass growing an ``ndarray``-typed field ships the
+  collection itself inside every task.
+
+The allowlists below name the classes that cross the boundary today; a
+new boundary class must be added here *with* its ``__getstate__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+#: classes pickled across the process boundary: must control their state.
+STATE_CLASSES = {
+    "SeriesStore",
+    "MmapBackend",
+    "CompressedBackend",
+    "GrowableBackend",
+    "FaultInjectingBackend",
+    "BufferPool",
+}
+
+#: task-plan classes: picklable by design, but must never carry arrays.
+PLAN_CLASSES = {"_ShardTask"}
+
+_STATE_METHODS = {"__getstate__", "__reduce__", "__reduce_ex__", "__getnewargs__"}
+
+
+def _annotation_mentions_ndarray(annotation: ast.expr) -> bool:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "ndarray":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "ndarray":
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "ndarray" in node.value:
+                return True
+    return False
+
+
+@register_rule
+class PickleBoundaryRule(Rule):
+    name = "pickle-boundary"
+    severity = "error"
+    description = (
+        "process-boundary classes must define __getstate__/__reduce__, and "
+        "task plans must not carry ndarray-typed fields"
+    )
+    invariant = (
+        "Plans, never data, across the process boundary (PR 9): stores "
+        "pickle by (backend path, row range) with a fresh counter; shipping "
+        "arrays or live counters breaks both memory bounds and counter "
+        "conservation."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in STATE_CLASSES:
+                defined = {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if not (defined & _STATE_METHODS):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.name} crosses the process boundary but defines "
+                        "no __getstate__/__reduce__: default __dict__ pickling "
+                        "ships raw arrays and live counters",
+                    )
+            if node.name in PLAN_CLASSES:
+                for item in node.body:
+                    if isinstance(item, ast.AnnAssign) and _annotation_mentions_ndarray(
+                        item.annotation
+                    ):
+                        yield self.finding(
+                            module,
+                            item,
+                            f"{node.name} is a process task plan; an "
+                            "ndarray-typed field ships raw data with every "
+                            "task — ship a by-path store handle instead",
+                        )

@@ -1,0 +1,113 @@
+"""strict-pruning: best-so-far comparisons must never discard distance ties.
+
+PR 3 made sharded answers byte-identical to the unsharded method by keying
+answer sets on ``(distance, position)`` and relaxing *every* best-so-far
+pruning comparison to the strict form: a candidate is pruned only when its
+lower bound is strictly greater than the pruning threshold (``bound >
+threshold``), and survives when ``bound <= threshold``.  The non-strict
+forms (``bound >= threshold`` to prune, ``bound < threshold`` to survive)
+drop distance-tied candidates, which breaks tie-breaking — the smallest
+tied *position* must win regardless of shard layout or visit order.
+
+This rule flags comparisons in ``indexes/`` and ``sequential/`` where a
+bound is tested against a pruning-threshold variable (``threshold``,
+``radius``, ``bsf``, ``best_distance``, ``best_so_far``) with the
+tie-dropping orientation.  Comparisons against constants (input
+validation like ``radius < 0``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+#: variable / attribute names that denote a pruning threshold.
+_GUARD_RE = re.compile(r"(?:^|_)(?:bsf|radius|threshold)(?:_|$)|best_so_far|best_distance")
+
+
+def _guard_name(node: ast.expr) -> str | None:
+    """The threshold-ish name a bare variable or attribute refers to."""
+    if isinstance(node, ast.Name) and _GUARD_RE.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _GUARD_RE.search(node.attr):
+        return node.attr
+    return None
+
+
+@register_rule
+class StrictPruningRule(Rule):
+    name = "strict-pruning"
+    severity = "error"
+    description = (
+        "best-so-far pruning must use strict > (prune) / <= (survive); "
+        ">= or < against a threshold discards distance ties"
+    )
+    invariant = (
+        "Byte-identical answers at any shard/worker count (PR 3): distance-tied "
+        "candidates are never pruned, so (distance, position) tie-breaking "
+        "always sees them."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_package("indexes") or module.in_package("sequential")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                yield from self._check_pair(module, node, left, op, right)
+                left = right
+
+    def _check_pair(
+        self,
+        module: ModuleContext,
+        node: ast.Compare,
+        left: ast.expr,
+        op: ast.cmpop,
+        right: ast.expr,
+    ) -> Iterator[Finding]:
+        left_guard = _guard_name(left)
+        right_guard = _guard_name(right)
+        # Two thresholds compared with each other, or a comparison against a
+        # literal (validation like `radius < 0`), is not a pruning decision.
+        if left_guard and right_guard:
+            return
+        if isinstance(left, ast.Constant) or isinstance(right, ast.Constant):
+            return
+        if right_guard:
+            if isinstance(op, ast.GtE):
+                yield self.finding(
+                    module,
+                    node,
+                    f"non-strict prune 'bound >= {right_guard}' discards "
+                    f"distance ties; use strict 'bound > {right_guard}'",
+                )
+            elif isinstance(op, ast.Lt):
+                yield self.finding(
+                    module,
+                    node,
+                    f"non-strict survivor test 'bound < {right_guard}' drops "
+                    f"tied candidates; use 'bound <= {right_guard}'",
+                )
+        elif left_guard:
+            if isinstance(op, ast.LtE):
+                yield self.finding(
+                    module,
+                    node,
+                    f"non-strict prune '{left_guard} <= bound' discards "
+                    f"distance ties; use strict '{left_guard} < bound' "
+                    "(i.e. bound > threshold)",
+                )
+            elif isinstance(op, ast.Gt):
+                yield self.finding(
+                    module,
+                    node,
+                    f"non-strict survivor test '{left_guard} > bound' drops "
+                    f"tied candidates; use '{left_guard} >= bound' "
+                    "(i.e. bound <= threshold)",
+                )

@@ -1,0 +1,102 @@
+"""no-unseeded-rng: randomness flows through passed Generators, never globals.
+
+Everything in this codebase that consumes randomness — dataset synthesis,
+fault plans, query workloads — is seeded, which is what makes builds
+bitwise-reproducible at any chunk size, chaos runs replayable from a seed,
+and cross-backend equivalence suites meaningful.  Module-level calls like
+``np.random.random()`` or ``random.randint()`` mutate interpreter-global
+RNG state: they are unseeded in production, and worse, they *de-seed*
+everything else sharing the global stream.  Constructing a generator
+(``np.random.default_rng(seed)``) is the sanctioned entry point; consuming
+code must take a ``Generator`` argument.
+
+``workloads/`` is the designated seeding boundary, so this rule applies
+everywhere else in the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+#: np.random attributes that are fine: generator/seed construction, types.
+_NUMPY_ALLOWED = {"default_rng", "Generator", "BitGenerator", "SeedSequence", "PCG64"}
+
+#: stdlib random module functions that draw from (or reseed) the global state.
+_STDLIB_GLOBAL = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "getrandbits",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+}
+
+
+@register_rule
+class NoUnseededRngRule(Rule):
+    name = "no-unseeded-rng"
+    severity = "error"
+    description = (
+        "module-level np.random.* / random.* calls are forbidden outside "
+        "workloads/; take a seeded np.random.Generator instead"
+    )
+    invariant = (
+        "Bitwise-reproducible builds and replayable chaos runs: all "
+        "randomness is seeded at the workload boundary and passed down as a "
+        "Generator (seed conventions from PR 1; fault-plan seeding from PR 7)."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.in_package("workloads")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            value = func.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+            ):
+                if func.attr not in _NUMPY_ALLOWED:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{func.attr}() draws from interpreter-global "
+                        "RNG state; accept a seeded np.random.Generator "
+                        "(np.random.default_rng(seed)) instead",
+                    )
+            # random.<fn>(...) on the stdlib module.
+            elif (
+                isinstance(value, ast.Name)
+                and value.id == "random"
+                and func.attr in _STDLIB_GLOBAL
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{func.attr}() uses the global stdlib RNG; use a "
+                    "seeded np.random.Generator (or random.Random(seed)) "
+                    "passed in by the caller",
+                )

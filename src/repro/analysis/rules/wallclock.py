@@ -1,0 +1,77 @@
+"""no-wall-clock: core kernels must not read the wall clock.
+
+The evaluation layer *simulates* I/O time from counters and a calibrated
+hardware model precisely so results are machine-independent and replayable;
+the only sanctioned wall-clock reads are duration measurements via the
+monotonic ``time.perf_counter()`` (CPU-seconds shape signals, opt-in
+``measure_io`` timing) and the calibration probes in
+``evaluation/hardware.py``.  ``time.time()`` / ``datetime.now()`` inside
+``core/`` leak nondeterministic wall-clock values into kernels — worse,
+the civil clock can jump (NTP, DST), so durations derived from it are
+simply wrong.
+
+Legitimate wall-clock uses in ``core/`` (comparing file *mtimes* during
+orphan sweeps, say) are expected to carry a justified inline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, ModuleContext, Rule, register_rule
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render a Name/Attribute chain like ``datetime.datetime.now``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_rule
+class NoWallClockRule(Rule):
+    name = "no-wall-clock"
+    severity = "error"
+    description = (
+        "time.time()/datetime.now() are forbidden in core/ kernels; use "
+        "time.perf_counter() for durations (measure_io) or simulate from "
+        "counters"
+    )
+    invariant = (
+        "Machine-independent, replayable evaluation (PR 4): I/O time is "
+        "simulated from counters + a calibrated HardwareModel; measured "
+        "timing uses the monotonic perf_counter, never the civil clock."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_package("core")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            flagged = dotted == "time.time" or (
+                dotted.endswith((".now", ".utcnow")) and "datetime" in dotted.split(".")
+            )
+            if not flagged:
+                continue
+            function = module.enclosing_function(node)
+            if function is not None and "measure" in function.name:
+                continue  # measure_io-style calibration helpers are sanctioned
+            yield self.finding(
+                module,
+                node,
+                f"{dotted}() reads the civil wall clock inside core/; use "
+                "time.perf_counter() for durations or derive time from the "
+                "simulated cost model",
+            )

@@ -189,6 +189,38 @@ def build_parser() -> argparse.ArgumentParser:
         "WAL fsync, and 'lie_fsync=1' models a disk that drops unsynced "
         "writes (the crash-recovery harness drives these)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant checker over the source tree "
+        "(strict pruning, seeded RNG, atomic writes, counter conservation, "
+        "...); exits 1 on findings",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro "
+        "package sources)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of rules to run (see --list-rules)",
+    )
+    lint.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="also emit the machine-readable report ('-' or no value: stdout)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules with the invariant each one enforces",
+    )
     return parser
 
 
@@ -576,6 +608,46 @@ def _command_ingest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace, out) -> int:
+    """Run the invariant checker; 0 clean, 1 findings, 2 usage errors."""
+    from .analysis import all_rules, lint_paths
+    from .analysis.linter import render_json
+
+    rules = all_rules()
+    if args.list_rules:
+        for name in sorted(rules):
+            rule = rules[name]
+            print(f"{name} [{rule.severity}]: {rule.description}", file=out)
+            if rule.invariant:
+                print(f"    invariant: {rule.invariant}", file=out)
+        return 0
+    selected = None
+    if args.rules is not None:
+        names = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = sorted(set(names) - set(rules))
+        if unknown or not names:
+            known = ", ".join(sorted(rules))
+            what = ", ".join(unknown) if unknown else "(none given)"
+            print(f"unknown rule(s): {what}; available: {known}", file=out)
+            return 2
+        selected = [rules[name] for name in names]
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=out)
+        return 2
+    report = lint_paths(paths, rules=selected)
+    if args.json is not None:
+        payload = render_json(report)
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+    if args.json != "-":
+        print(report.render_text(), file=out)
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "methods": _command_methods,
     "recommend": _command_recommend,
@@ -583,6 +655,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "synth": _command_synth,
     "ingest": _command_ingest,
+    "lint": _command_lint,
 }
 
 

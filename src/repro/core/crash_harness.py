@@ -185,6 +185,9 @@ def run_crash_cell(
 
     try:
         backend = GrowableBackend(root)
+    # repro-lint: disable=no-bare-except -- sanctioned fault-capture seam:
+    # the audit records the exception as the failure verdict; the harness
+    # itself must survive to report it.
     except Exception as exc:  # CorruptionError here is itself the failure
         outcome.failures.append(f"reopen after crash raised {exc!r}")
         return outcome

@@ -17,7 +17,6 @@ from .answers import Neighbor
 from .queries import KnnQuery, RangeQuery
 from .registry import create_method
 from .series import Dataset, znormalize
-from .stats import QueryStats
 from .storage import SeriesStore
 
 __all__ = ["SimilaritySearchEngine", "recommend_method", "Recommendation"]

@@ -490,6 +490,13 @@ class FaultInjectingBackend(StorageBackend):
         self._attempts_lock = threading.Lock()
 
 
+#: jitter source for retry backoff: a private Generator so backoff never
+#: touches (or de-seeds) the interpreter-global RNG stream.  Unseeded by
+#: design — jitter only scales sleep delays, never answers — and concurrent
+#: draws can at worst degrade jitter quality, which is harmless here.
+_JITTER_RNG = np.random.default_rng()
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded exponential backoff with jitter for transient read faults.
@@ -532,7 +539,7 @@ class RetryPolicy:
             self.max_delay, self.base_delay * self.multiplier ** max(0, attempt - 1)
         )
         if self.jitter:
-            delay *= 1.0 - self.jitter * np.random.random()
+            delay *= 1.0 - self.jitter * float(_JITTER_RNG.random())
         return float(delay)
 
 

@@ -628,6 +628,8 @@ def _open_state(
     listed = [dict(entry) for entry in manifest.get("segments", [])]
     listed_names = {entry["file"] for entry in listed}
     if not read_only:
+        # repro-lint: disable=no-wall-clock -- the sweep compares file
+        # *mtimes*, which are civil-clock values; perf_counter has no epoch.
         report.swept_tmp = sweep_orphaned_tmp(root, before=time.time())
         for orphan in sorted(root.glob(f"{_SEGMENT_PREFIX}*.npy")):
             if orphan.name in listed_names:

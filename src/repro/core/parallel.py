@@ -39,6 +39,7 @@ the final ulp — the caveat their batch path already documents).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import sys
@@ -210,6 +211,9 @@ def parallel_map_outcomes(
                 continue
             try:
                 outcomes.append(TaskOutcome(value=fn(item)))
+            # repro-lint: disable=no-bare-except -- sanctioned fault-capture
+            # seam: the exception rides back typed in TaskOutcome.error for
+            # the caller to classify (re-raise, retry, or degrade).
             except Exception as exc:
                 outcomes.append(TaskOutcome(error=exc))
         return outcomes
@@ -217,6 +221,8 @@ def parallel_map_outcomes(
     def run(item) -> TaskOutcome:
         try:
             return TaskOutcome(value=fn(item))
+        # repro-lint: disable=no-bare-except -- sanctioned fault-capture
+        # seam: same TaskOutcome.error contract as the sequential path.
         except Exception as exc:
             return TaskOutcome(error=exc)
 
@@ -256,7 +262,7 @@ class SharedRadius:
 
     __slots__ = ("_lock", "_value")
 
-    def __init__(self, value: float = float("inf")) -> None:
+    def __init__(self, value: float = math.inf) -> None:
         self._lock = threading.Lock()
         self._value = float(value)
 

@@ -21,7 +21,9 @@ index files from untrusted sources.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import secrets
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -122,8 +124,31 @@ class IndexEnvelope:
         return info
 
 
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (uniquified tmp + os.replace).
+
+    The same finalize protocol as the data-file writers: a crash at any
+    point leaves either the previous complete file or no file — never a
+    truncated envelope for ``load_method`` to trip over.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{secrets.token_hex(4)}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def save_method(method, path: str | Path) -> IndexEnvelope:
-    """Serialize a built method to ``path`` and return the written envelope."""
+    """Serialize a built method to ``path`` and return the written envelope.
+
+    The file is finalized atomically (tmp + ``os.replace``), so an
+    interrupted save never leaves a torn index file behind.
+    """
     if not getattr(method, "is_built", False):
         raise ValueError("only built methods can be saved")
     dataset = method.store.dataset
@@ -146,8 +171,9 @@ def save_method(method, path: str | Path) -> IndexEnvelope:
         storage=storage,
         state_checksum=checksum(state),
     )
-    with open(path, "wb") as handle:
-        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_write_bytes(
+        Path(path), pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     return envelope
 
 

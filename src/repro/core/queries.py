@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterator
 
 import numpy as np
+import numpy.typing as npt
 
 from .series import SERIES_DTYPE, znormalize
 
@@ -47,7 +49,7 @@ class KnnQuery:
         workloads in Table 2).
     """
 
-    series: np.ndarray
+    series: npt.NDArray[np.float32]
     k: int = 1
     label: str = ""
 
@@ -67,7 +69,7 @@ class KnnQuery:
 class RangeQuery:
     """A whole-matching r-range query (Definition 2 in the paper)."""
 
-    series: np.ndarray
+    series: npt.NDArray[np.float32]
     radius: float
     label: str = ""
 
@@ -99,7 +101,7 @@ class QueryWorkload:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[KnnQuery]:
         return iter(self.queries)
 
     def __getitem__(self, index: int) -> KnnQuery:
@@ -114,7 +116,7 @@ class QueryWorkload:
     @classmethod
     def from_array(
         cls,
-        series: np.ndarray,
+        series: npt.ArrayLike,
         name: str = "workload",
         k: int = 1,
         normalize: bool = False,

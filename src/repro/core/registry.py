@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from .storage import SeriesStore
 
@@ -28,7 +28,7 @@ def available_methods() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def create_method(name: str, store: SeriesStore, **params):
+def create_method(name: str, store: SeriesStore, **params: Any) -> object:
     """Instantiate a registered method over ``store``.
 
     Parameters are forwarded to the method constructor; unknown names raise a
@@ -96,7 +96,7 @@ def _ensure_builtin_methods() -> None:
 
 
 #: canonical names of the ten methods evaluated in the paper.
-METHOD_NAMES = (
+METHOD_NAMES: tuple[str, ...] = (
     "ads+",
     "dstree",
     "isax2+",

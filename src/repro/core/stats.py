@@ -193,9 +193,9 @@ class IndexStats:
     sequential_pages: int = 0
     random_accesses: int = 0
     #: fill factor (fraction of capacity used) per leaf, for the fill-factor boxplots.
-    leaf_fill_factors: list = field(default_factory=list)
+    leaf_fill_factors: list[float] = field(default_factory=list)
     #: depth of every leaf, for the balance analysis.
-    leaf_depths: list = field(default_factory=list)
+    leaf_depths: list[int] = field(default_factory=list)
 
     @property
     def build_seconds(self) -> float:

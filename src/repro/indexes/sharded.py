@@ -65,7 +65,6 @@ import tempfile
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 
@@ -687,6 +686,9 @@ class ShardedMethod(SearchMethod):
             except CorruptionError as exc:
                 failure = exc
                 break
+            # repro-lint: disable=no-bare-except -- sanctioned fault-capture
+            # seam: the failure is stored and re-raised after the retry loop
+            # (shard re-fork/re-execute up to shard_attempts, PR 7).
             except Exception as exc:
                 failure = exc
                 continue

@@ -116,8 +116,6 @@ class StepwiseIndex(SearchMethod):
                 kth_upper = np.partition(upper, k - 1)[k - 1]
                 keep = lower <= kth_upper
                 candidates = candidates[keep]
-                partial_keep = partial[candidates]
-                del partial_keep
 
         # Final refinement on the raw data for the surviving candidates.
         candidates = np.sort(candidates)

@@ -21,12 +21,7 @@ from repro import (
     save_method,
     write_series_file,
 )
-from repro.core.backends import (
-    CompressedBackend,
-    MemoryBackend,
-    MmapBackend,
-    resolve_backend,
-)
+from repro.core.backends import MmapBackend, resolve_backend
 from repro.core.persistence import dataset_fingerprint
 from repro.core.queries import KnnQuery, RangeQuery
 from repro.evaluation.hardware import measure_platform

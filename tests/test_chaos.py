@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro import Dataset, SeriesStore
-from repro.core.faults import FaultPlan, RetryPolicy, TransientIOError
+from repro.core.faults import FaultPlan, RetryPolicy
 from repro.core.integrity import CorruptionError, invalidate_manifest_cache
 from repro.core.queries import KnnQuery
 from repro.core.registry import available_methods, create_method

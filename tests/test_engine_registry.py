@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    Dataset,
     METHOD_NAMES,
     SimilaritySearchEngine,
     available_methods,

@@ -1,6 +1,5 @@
 """Tests for the evaluation framework: hardware models, measures, runner, scenarios."""
 
-import numpy as np
 import pytest
 
 from repro import SeriesStore, create_method

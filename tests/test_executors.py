@@ -15,7 +15,6 @@ so the whole module pays the spawn cost once per pool shape; the module
 teardown shuts them down.
 """
 
-import os
 import pickle
 
 import numpy as np
@@ -32,12 +31,10 @@ from repro import (
 )
 from repro.core.faults import FaultPlan, reset_crash_counters, take_kill_budget
 from repro.core.parallel import (
-    Executor,
     ProcessExecutor,
     ThreadExecutor,
     default_executor_kind,
     resolve_executor,
-    shared_process_executor,
     shutdown_shared_executors,
 )
 from repro.core.queries import KnnQuery, RangeQuery

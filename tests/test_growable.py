@@ -26,7 +26,7 @@ from repro.core.growable import (
 )
 from repro.core.integrity import CorruptionError, invalidate_manifest_cache
 from repro.core.queries import KnnQuery
-from repro.core.wal import RecoveryReport, WriteAheadLog
+from repro.core.wal import WriteAheadLog
 
 
 def _rows(count, length=16, seed=0):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import SeriesStore
 from repro.indexes.ads.tree import AdsTree
 from repro.indexes.dstree.node import DsTreeNode, SplitPolicy
 from repro.indexes.isax.node import IsaxNode

@@ -201,13 +201,13 @@ class TestSidecarManifests:
 class TestCompressedChecksums:
     def test_rcz_v2_records_checksums(self, tmp_path):
         dataset = Dataset(values=_rows(), name="rcz-case")
-        compressed = dataset.to_compressed(tmp_path / "data.rcz")
+        dataset.to_compressed(tmp_path / "data.rcz")
         info = read_rcz_info(tmp_path / "data.rcz")
         assert info.has_checksums
 
     def test_rcz_block_corruption_detected(self, tmp_path):
         dataset = Dataset(values=_rows(count=2000), name="rcz-corrupt")
-        compressed = dataset.to_compressed(tmp_path / "data.rcz")
+        dataset.to_compressed(tmp_path / "data.rcz")
         info = read_rcz_info(tmp_path / "data.rcz")
         # Flip a byte inside the first block's payload.
         _flip_byte(tmp_path / "data.rcz", int(info.table["offset"][0]) + 3)

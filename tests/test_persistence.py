@@ -1,9 +1,8 @@
 """Tests for index persistence (save / load with dataset fingerprinting)."""
 
-import numpy as np
 import pytest
 
-from repro import Dataset, SeriesStore, create_method
+from repro import SeriesStore, create_method
 from repro.core.persistence import (
     IndexEnvelope,
     dataset_fingerprint,

@@ -7,11 +7,7 @@ from repro import SeriesStore, create_method
 from repro.core.distance import squared_euclidean_batch
 from repro.core.queries import KnnQuery
 from repro.core.series import znormalize
-from repro.workloads.subsequence import (
-    SubsequenceMapping,
-    sliding_windows,
-    subsequence_collection,
-)
+from repro.workloads.subsequence import sliding_windows, subsequence_collection
 
 
 class TestSlidingWindows:
